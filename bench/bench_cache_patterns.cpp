@@ -1,0 +1,102 @@
+// E7 — buffer-cache access-pattern classification (Section III-A): how
+// reliably unlogged reads are detected and classified (full scan vs index
+// scan) from a RAM snapshot, as a function of buffer-cache size.
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/carver.h"
+#include "detective/dbdetective.h"
+#include "engine/database.h"
+#include "storage/dialects.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace dbfa;
+
+struct Trial {
+  bool detected = false;
+  UnloggedAccess::Pattern classified = UnloggedAccess::Pattern::kFullScan;
+};
+
+/// One experiment: populate, go cold, run one unlogged SELECT (full scan or
+/// point lookup), carve RAM, detect.
+Trial RunTrial(size_t pool_pages, bool full_scan, uint64_t seed) {
+  DatabaseOptions options;
+  options.buffer_pool_pages = pool_pages;
+  auto db = Database::Open(options).value();
+  SyntheticWorkload workload(db.get(), "Accounts", seed);
+  (void)workload.Setup(800);
+  (void)db->SnapshotDisk();
+  (void)db->pager().pool().Clear();
+  uint64_t watermark = db->audit_log().entries().back().seq;
+
+  CarverConfig config;
+  config.params = GetDialect(db->params().dialect).value();
+  Carver disk_carver(config);
+  auto disk_carve = disk_carver.Carve(db->SnapshotDisk().value()).value();
+
+  db->audit_log().SetEnabled(false);
+  if (full_scan) {
+    (void)db->ExecuteSql("SELECT * FROM Accounts WHERE Owner = 'Maria'");
+  } else {
+    (void)db->ExecuteSql(StrFormat("SELECT * FROM Accounts WHERE Id = %d",
+                                   static_cast<int>(seed % 700 + 1)));
+  }
+  db->audit_log().SetEnabled(true);
+
+  CarveOptions ram_options;
+  ram_options.scan_step = db->params().page_size;
+  Carver ram_carver(config, ram_options);
+  auto ram_carve = ram_carver.Carve(db->SnapshotRam()).value();
+
+  AuditLog window = db->audit_log().TailAfter(watermark);
+  DbDetective detective(&disk_carve, &window, &ram_carve);
+  auto reads = detective.FindUnloggedReads().value();
+  Trial trial;
+  for (const UnloggedAccess& access : reads) {
+    if (access.table == "Accounts") {
+      trial.detected = true;
+      trial.classified = access.pattern;
+    }
+  }
+  return trial;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E7 — unlogged-SELECT detection via cache patterns "
+      "(800-row table, 10 trials per cell)\n\n");
+  std::printf("%-12s %-22s %-24s %-26s\n", "cache", "full scans detected",
+              "index scans detected", "full scans classified");
+  std::printf("%-12s %-22s %-24s %-26s\n", "(pages)", "", "",
+              "as full scans");
+  for (size_t pool : {16, 64, 256}) {
+    int full_detected = 0;
+    int index_detected = 0;
+    int full_classified = 0;
+    const int kTrials = 10;
+    for (int t = 0; t < kTrials; ++t) {
+      Trial full = RunTrial(pool, /*full_scan=*/true, 100 + t);
+      Trial index = RunTrial(pool, /*full_scan=*/false, 200 + t);
+      if (full.detected) {
+        ++full_detected;
+        if (full.classified == UnloggedAccess::Pattern::kFullScan) {
+          ++full_classified;
+        }
+      }
+      if (index.detected) ++index_detected;
+    }
+    std::printf("%-12zu %2d/%-19d %2d/%-21d %2d/%-23d\n", pool,
+                full_detected, kTrials, index_detected, kTrials,
+                full_classified, full_detected);
+  }
+  std::printf(
+      "\nPaper claim (Section III-A): both access types 'produce a "
+      "consistent,\nrepeatable caching pattern'. Expected shape: detection "
+      "near 10/10 at all cache\nsizes; full scans classified as full scans "
+      "whenever the cache can hold the\ntable's page run.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E10 — forensic-evidence lifetime (Section III-D, after [7]): what
+// fraction of deleted records remains carvable as subsequent inserts
+// arrive, parameterized by the page-reuse policy, plus the VACUUM cliff.
+#include <cstdio>
+#include <set>
+
+#include "common/strings.h"
+#include "core/carver.h"
+#include "engine/database.h"
+#include "storage/dialects.h"
+
+namespace {
+
+using namespace dbfa;
+
+/// Deletes a contiguous block of `deleted` rows (clustered deletes free
+/// whole pages, which is when reuse policies diverge), then inserts new
+/// rows and reports the fraction of deleted rows still carvable.
+double SurvivingFraction(double reuse_threshold, int deleted,
+                         int post_inserts, bool vacuum) {
+  DatabaseOptions options;
+  options.page_reuse_threshold = reuse_threshold;
+  auto db = Database::Open(options).value();
+  (void)db->ExecuteSql(
+      "CREATE TABLE Log (Id INT NOT NULL, Msg VARCHAR(40), PRIMARY KEY "
+      "(Id))");
+  const int kRows = 600;
+  for (int i = 1; i <= kRows; ++i) {
+    (void)db->ExecuteSql(StrFormat(
+        "INSERT INTO Log VALUES (%d, 'message-%08d-padding')", i, i));
+  }
+  const int kDeleted = deleted;
+  (void)db->ExecuteSql(
+      StrFormat("DELETE FROM Log WHERE Id <= %d", kDeleted));
+  for (int i = 0; i < post_inserts; ++i) {
+    (void)db->ExecuteSql(StrFormat(
+        "INSERT INTO Log VALUES (%d, 'message-%08d-padding')",
+        100000 + i, i));
+  }
+  if (vacuum) (void)db->ExecuteSql("VACUUM Log");
+
+  CarverConfig config;
+  config.params = GetDialect(db->params().dialect).value();
+  Carver carver(config);
+  auto carve = carver.Carve(db->SnapshotDisk().value()).value();
+  std::set<int64_t> survivors;
+  for (const CarvedRecord* r :
+       carve.RecordsForTable("Log", RowStatus::kDeleted)) {
+    if (r->typed && r->values[0].type() == ValueType::kInt) {
+      int64_t id = r->values[0].as_int();
+      if (id >= 1 && id <= kDeleted) survivors.insert(id);
+    }
+  }
+  return static_cast<double>(survivors.size()) / kDeleted;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E10 — deleted-record evidence lifetime (600 rows, contiguous block "
+      "deleted,\nthen 600 inserts; fraction of deleted rows still "
+      "carvable)\n\n");
+  std::printf("%-14s %-26s %-26s %-12s\n", "rows deleted",
+              "reuse disabled", "reuse at 50%% dead", "after");
+  std::printf("%-14s %-26s %-26s %-12s\n", "",
+              "(Oracle-style PCTFREE)", "(aggressive engine)", "VACUUM");
+  for (int deleted : {60, 150, 300, 450, 600}) {
+    double keep = SurvivingFraction(2.0, deleted, 600, false);
+    double reuse = SurvivingFraction(0.5, deleted, 600, false);
+    double vacuumed = SurvivingFraction(2.0, deleted, 600, true);
+    std::printf("%-14d %-26.3f %-26.3f %-12.3f\n", deleted, keep, reuse,
+                vacuumed);
+  }
+  std::printf(
+      "\nPaper claim (Section III-D / [7]): 'given a low volume of DELETE "
+      "operations\nin Oracle, DBDetective would detect attacks with higher "
+      "accuracy because...\npercent page utilization prevents deleted data "
+      "from being overwritten.'\nExpected shape: the reuse-disabled column "
+      "stays at 1.0 regardless of delete\nvolume; the aggressive column "
+      "falls as larger delete blocks free whole pages\nfor reuse (only "
+      "rows sharing a page with survivors persist); VACUUM is 0.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E2 — Figure 1 reproduction: deleted-row recovery per delete-marking
+// strategy. For each dialect, delete a fraction of rows and measure how
+// many deleted rows the carver recovers with correct values (recall) and
+// how many active rows are misclassified (precision).
+#include <cstdio>
+#include <set>
+
+#include "common/strings.h"
+#include "core/carver.h"
+#include "engine/database.h"
+#include "storage/dialects.h"
+
+int main() {
+  using namespace dbfa;
+  constexpr int kRows = 1000;
+  constexpr int kDeleteEvery = 3;  // delete every 3rd row
+
+  std::printf(
+      "E2 / Figure 1 — deleted-record reconstruction per dialect\n"
+      "%d rows inserted, every %dth deleted; carve of the disk image\n\n",
+      kRows, kDeleteEvery);
+  std::printf("%-16s %-18s %-9s %-9s %-10s %-10s\n", "dialect",
+              "delete-mark", "deleted", "carved", "recall", "precision");
+
+  for (const std::string& name : BuiltinDialectNames()) {
+    DatabaseOptions options;
+    options.dialect = name;
+    auto db = Database::Open(options);
+    if (!db.ok()) return 1;
+    auto create = (*db)->ExecuteSql(
+        "CREATE TABLE Customer (Id INT NOT NULL, Name VARCHAR(24), "
+        "PRIMARY KEY (Id))");
+    if (!create.ok()) return 1;
+    std::set<int64_t> deleted_ids;
+    for (int i = 1; i <= kRows; ++i) {
+      auto ins = (*db)->ExecuteSql(StrFormat(
+          "INSERT INTO Customer VALUES (%d, 'Name%05d')", i, i));
+      if (!ins.ok()) return 1;
+    }
+    for (int i = 1; i <= kRows; i += kDeleteEvery) {
+      auto del = (*db)->ExecuteSql(
+          StrFormat("DELETE FROM Customer WHERE Id = %d", i));
+      if (!del.ok()) return 1;
+      deleted_ids.insert(i);
+    }
+    auto image = (*db)->SnapshotDisk();
+    if (!image.ok()) return 1;
+    CarverConfig config;
+    config.params = GetDialect(name).value();
+    Carver carver(config);
+    auto carve = carver.Carve(*image);
+    if (!carve.ok()) return 1;
+
+    size_t true_hits = 0;
+    size_t false_hits = 0;
+    for (const CarvedRecord* r :
+         carve->RecordsForTable("Customer", RowStatus::kDeleted)) {
+      if (!r->typed) continue;
+      int64_t id = r->values[0].as_int();
+      std::string expected = StrFormat("Name%05d", static_cast<int>(id));
+      if (deleted_ids.count(id) != 0 &&
+          r->values[1] == Value::Str(expected)) {
+        ++true_hits;
+      } else {
+        ++false_hits;
+      }
+    }
+    double recall = static_cast<double>(true_hits) /
+                    static_cast<double>(deleted_ids.size());
+    double precision =
+        true_hits + false_hits == 0
+            ? 1.0
+            : static_cast<double>(true_hits) /
+                  static_cast<double>(true_hits + false_hits);
+    std::printf("%-16s %-18s %-9zu %-9zu %-10.3f %-10.3f\n", name.c_str(),
+                DeleteStrategyName(config.params.delete_strategy),
+                deleted_ids.size(), true_hits + false_hits, recall,
+                precision);
+  }
+  std::printf(
+      "\nPaper claim: deletion only marks metadata (row delimiter, data "
+      "delimiter,\nrow identifier, or slot directory — Figure 1), so "
+      "deleted rows remain fully\nreconstructable until overwritten. "
+      "Expected shape: recall = precision = 1.0.\n");
+  return 0;
+}

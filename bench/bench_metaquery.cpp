@@ -1,0 +1,110 @@
+// E4 — meta-query latency for the two Section II-C scenarios, versus
+// carved-artifact volume: scenario 1 (deleted-row selection) and scenario
+// 2 (disk-vs-RAM join for fresh updates).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/strings.h"
+#include "core/carver.h"
+#include "engine/database.h"
+#include "metaquery/session.h"
+#include "storage/dialects.h"
+
+namespace {
+
+using namespace dbfa;
+
+struct PreparedCarves {
+  CarveResult disk;
+  CarveResult ram;
+};
+
+const PreparedCarves& CarvesForRows(int rows) {
+  static std::map<int, PreparedCarves>& cache =
+      *new std::map<int, PreparedCarves>();
+  auto it = cache.find(rows);
+  if (it != cache.end()) return it->second;
+
+  DatabaseOptions options;
+  options.dialect = "postgres_like";
+  options.buffer_pool_pages = 512;
+  auto db = Database::Open(options).value();
+  (void)db->ExecuteSql(
+      "CREATE TABLE Product (PID INT NOT NULL, Name VARCHAR(24), Price "
+      "DOUBLE, PRIMARY KEY (PID))");
+  for (int i = 1; i <= rows; ++i) {
+    (void)db->ExecuteSql(StrFormat(
+        "INSERT INTO Product VALUES (%d, 'prod%06d', %d.99)", i, i, i % 500));
+  }
+  (void)db->ExecuteSql(StrFormat(
+      "DELETE FROM Product WHERE PID < %d", rows / 5));
+  CarverConfig config;
+  config.params = GetDialect("postgres_like").value();
+  Carver carver(config);
+  PreparedCarves prepared;
+  prepared.disk = carver.Carve(db->SnapshotDisk().value()).value();
+  // Update some prices, then capture RAM (holds the fresh versions).
+  (void)db->ExecuteSql(StrFormat(
+      "UPDATE Product SET Price = 1.5 WHERE PID > %d", rows - rows / 10));
+  (void)db->ExecuteSql("SELECT * FROM Product WHERE PID > 0");
+  CarveOptions ram_options;
+  ram_options.scan_step = config.params.page_size;
+  Carver ram_carver(config, ram_options);
+  prepared.ram = ram_carver.Carve(db->SnapshotRam()).value();
+  return cache.emplace(rows, std::move(prepared)).first->second;
+}
+
+void BM_Scenario1DeletedRows(benchmark::State& state) {
+  const PreparedCarves& carves = CarvesForRows(static_cast<int>(state.range(0)));
+  MetaQuerySession session;
+  (void)session.RegisterCarve(carves.disk, "Carv");
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = session.Query(
+        "SELECT * FROM CarvProduct WHERE RowStatus = 'DELETED'");
+    if (!result.ok()) state.SkipWithError("query failed");
+    rows = result->rows.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["deleted_rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Scenario1DeletedRows)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_Scenario2DiskRamJoin(benchmark::State& state) {
+  const PreparedCarves& carves = CarvesForRows(static_cast<int>(state.range(0)));
+  MetaQuerySession session;
+  (void)session.RegisterCarve(carves.disk, "CarvDisk");
+  (void)session.RegisterCarve(carves.ram, "CarvRAM");
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = session.Query(
+        "SELECT M.PID, M.Price, D.Price AS OldPrice "
+        "FROM CarvRAMProduct AS M JOIN CarvDiskProduct AS D ON M.PID = D.PID "
+        "WHERE M.Price <> D.Price AND M.RowStatus = 'ACTIVE' AND "
+        "D.RowStatus = 'ACTIVE'");
+    if (!result.ok()) state.SkipWithError("query failed");
+    rows = result->rows.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["updated_rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Scenario2DiskRamJoin)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_AggregateOverCarve(benchmark::State& state) {
+  const PreparedCarves& carves = CarvesForRows(20000);
+  MetaQuerySession session;
+  (void)session.RegisterCarve(carves.disk, "Carv");
+  for (auto _ : state) {
+    auto result = session.Query(
+        "SELECT RowStatus, COUNT(*) AS n, AVG(Price) AS avg_price "
+        "FROM CarvProduct GROUP BY RowStatus");
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AggregateOverCarve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

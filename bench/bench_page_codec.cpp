@@ -1,0 +1,108 @@
+// Ablation — page-codec microbenchmarks underlying every experiment:
+// record encode/decode per string mode, page checksum cost per algorithm,
+// and slot-directory insertion per placement. These quantify the design
+// choices DESIGN.md calls out (generic formatter driven by parameters).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "storage/dialects.h"
+#include "storage/page_formatter.h"
+
+namespace {
+
+using namespace dbfa;
+
+TableSchema BenchSchema() {
+  TableSchema s;
+  s.name = "T";
+  s.columns = {{"id", ColumnType::kInt, 0, false},
+               {"name", ColumnType::kVarchar, 32, true},
+               {"city", ColumnType::kVarchar, 24, true},
+               {"balance", ColumnType::kDouble, 0, true}};
+  return s;
+}
+
+Record BenchRow(int i) {
+  return {Value::Int(i), Value::Str("customer-name-" + std::to_string(i)),
+          Value::Str("some-city"), Value::Real(i * 1.5)};
+}
+
+void BM_EncodeRecord(benchmark::State& state) {
+  PageLayoutParams params =
+      GetDialect(BuiltinDialectNames()[state.range(0)]).value();
+  PageFormatter fmt(params);
+  TableSchema schema = BenchSchema();
+  Record row = BenchRow(42);
+  for (auto _ : state) {
+    auto encoded = fmt.EncodeRecord(schema, row, 42);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetLabel(params.dialect + "/" + StringModeName(params.string_mode));
+}
+BENCHMARK(BM_EncodeRecord)->DenseRange(0, 7);
+
+void BM_ParseAndDecodeRecord(benchmark::State& state) {
+  PageLayoutParams params =
+      GetDialect(BuiltinDialectNames()[state.range(0)]).value();
+  PageFormatter fmt(params);
+  TableSchema schema = BenchSchema();
+  Bytes page(params.page_size);
+  fmt.InitPage(page.data(), 1, 2, PageType::kData);
+  auto encoded = fmt.EncodeRecord(schema, BenchRow(42), 42).value();
+  uint16_t slot = fmt.InsertRecordBytes(page.data(), encoded).value();
+  auto info = fmt.GetSlot(page.data(), slot);
+  for (auto _ : state) {
+    auto parsed = fmt.ParseRecordAt(ByteView(page.data(), page.size()),
+                                    info->offset);
+    auto decoded = fmt.DecodeTyped(*parsed, schema);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetLabel(params.dialect + "/" + StringModeName(params.string_mode));
+}
+BENCHMARK(BM_ParseAndDecodeRecord)->DenseRange(0, 7);
+
+void BM_ChecksumUpdate(benchmark::State& state) {
+  // One representative dialect per checksum kind.
+  static const char* kDialects[] = {"mysql_like", "postgres_like",
+                                    "oracle_like", "sqlite_like"};
+  PageLayoutParams params = GetDialect(kDialects[state.range(0)]).value();
+  PageFormatter fmt(params);
+  Bytes page(params.page_size);
+  Rng rng(1);
+  for (auto& b : page) b = static_cast<uint8_t>(rng.NextU64());
+  fmt.InitPage(page.data(), 1, 2, PageType::kData);
+  for (auto _ : state) {
+    fmt.UpdateChecksum(page.data());
+    benchmark::DoNotOptimize(page.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          params.page_size);
+  state.SetLabel(std::string(ChecksumKindName(params.checksum_kind)) + "/" +
+                 std::to_string(params.page_size) + "B");
+}
+BENCHMARK(BM_ChecksumUpdate)->DenseRange(0, 3);
+
+void BM_FillPage(benchmark::State& state) {
+  // Insert rows until full, per slot placement (front vs back directory).
+  PageLayoutParams params =
+      GetDialect(state.range(0) == 0 ? "postgres_like" : "sqlserver_like")
+          .value();
+  PageFormatter fmt(params);
+  TableSchema schema = BenchSchema();
+  auto encoded = fmt.EncodeRecord(schema, BenchRow(7), 7).value();
+  Bytes page(params.page_size);
+  size_t per_page = 0;
+  for (auto _ : state) {
+    fmt.InitPage(page.data(), 1, 2, PageType::kData);
+    per_page = 0;
+    while (fmt.InsertRecordBytes(page.data(), encoded).ok()) ++per_page;
+    benchmark::DoNotOptimize(page.data());
+  }
+  state.counters["records_per_page"] = static_cast<double>(per_page);
+  state.SetLabel(SlotPlacementName(params.slot_placement));
+}
+BENCHMARK(BM_FillPage)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// E11 — PLI (Section IV-a): pages read per range query — PLI vs full scan
+// vs an ideal clustered index — across ingest-order jitter levels, plus
+// the ingest-cost asymmetry PLI exists to avoid.
+#include <chrono>
+#include <cstdio>
+#include <set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "engine/database.h"
+#include "pli/pli.h"
+
+namespace {
+
+using namespace dbfa;
+
+struct Setup {
+  std::unique_ptr<Database> db;
+  double clustering = 0;
+};
+
+/// Loads `rows` timestamps with +-jitter around insertion order.
+Setup LoadEvents(int rows, int jitter, bool with_index, uint64_t seed) {
+  Setup setup;
+  setup.db = Database::Open(DatabaseOptions{}).value();
+  (void)setup.db->ExecuteSql(
+      "CREATE TABLE Events (ts INT NOT NULL, payload VARCHAR(24))");
+  if (with_index) {
+    (void)setup.db->ExecuteSql("CREATE INDEX idx_ts ON Events (ts)");
+  }
+  Rng rng(seed);
+  for (int i = 0; i < rows; ++i) {
+    int64_t ts = 100000 + i + (jitter > 0 ? rng.Uniform(-jitter, jitter) : 0);
+    (void)setup.db->ExecuteSql(StrFormat(
+        "INSERT INTO Events VALUES (%lld, 'event-padding-%04d')",
+        static_cast<long long>(ts), i % 1000));
+  }
+  return setup;
+}
+
+/// Exact pages holding rows in [lo, hi] — what an ideal clustered index
+/// would read.
+size_t ExactPages(Database* db, int64_t lo, int64_t hi) {
+  std::set<uint32_t> pages;
+  (void)db->heap("Events")->Scan([&](RowPointer ptr, const Record& rec) {
+    int64_t ts = rec[0].as_int();
+    if (ts >= lo && ts <= hi) pages.insert(ptr.page_id);
+    return Status::Ok();
+  });
+  return pages.size();
+}
+
+}  // namespace
+
+int main() {
+  const int kRows = 4000;
+  std::printf(
+      "E11 — PLI range-query I/O (%d rows; range width 200 around the "
+      "middle)\n\n",
+      kRows);
+  std::printf("%-10s %-12s %-12s %-12s %-12s\n", "jitter", "clustering",
+              "PLI pages", "exact pages", "full scan");
+  for (int jitter : {0, 5, 50, 500, 4000}) {
+    Setup setup = LoadEvents(kRows, jitter, /*with_index=*/false, 9 + jitter);
+    auto pli = PhysicalLocationIndex::BuildFromDatabase(setup.db.get(),
+                                                        "Events", "ts", 4)
+                   .value();
+    int64_t lo = 100000 + kRows / 2;
+    int64_t hi = lo + 200;
+    size_t pli_pages = pli.LookupPages(Value::Int(lo), Value::Int(hi)).size();
+    size_t exact = ExactPages(setup.db.get(), lo, hi);
+    std::printf("%-10d %-12.2f %-12zu %-12zu %-12zu\n", jitter,
+                pli.ClusteringFactor(), pli_pages, exact,
+                pli.total_pages());
+  }
+
+  std::printf("\nIngest cost: maintained secondary index vs none "
+              "(PLI built once afterwards)\n");
+  for (bool with_index : {false, true}) {
+    auto start = std::chrono::steady_clock::now();
+    Setup setup = LoadEvents(kRows, 5, with_index, 77);
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    double build_seconds = 0;
+    if (!with_index) {
+      auto b0 = std::chrono::steady_clock::now();
+      auto pli = PhysicalLocationIndex::BuildFromDatabase(setup.db.get(),
+                                                          "Events", "ts", 4);
+      build_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - b0)
+                          .count();
+      if (!pli.ok()) return 1;
+    }
+    std::printf("  %-28s ingest %.3fs%s\n",
+                with_index ? "with maintained B-Tree" : "no index (PLI after)",
+                seconds,
+                with_index
+                    ? ""
+                    : StrFormat(" + one-off PLI build %.3fs", build_seconds)
+                          .c_str());
+  }
+  std::printf(
+      "\nPaper claim (Section IV-a / [11]): 'clustering slowdown can often "
+      "be avoided'\nby indexing the physical location of approximately "
+      "clustered attributes.\nExpected shape: at low jitter PLI reads "
+      "close to the exact page count and far\nless than a full scan; as "
+      "jitter grows PLI degrades toward the full scan while\nthe ingest-"
+      "cost advantage over a maintained index persists.\n");
+  return 0;
+}

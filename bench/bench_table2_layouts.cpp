@@ -1,0 +1,61 @@
+// E1 — Table II reproduction: the page-layout trade-off matrix across all
+// eight emulated DBMSes, *as discovered by the black-box parameter
+// collector*, cross-checked against ground truth.
+#include <chrono>
+#include <cstdio>
+
+#include "core/parameter_collector.h"
+#include "engine/database.h"
+#include "storage/dialects.h"
+
+int main() {
+  using namespace dbfa;
+  std::printf(
+      "E1 / Table II — page-layout characteristics per DBMS dialect\n"
+      "(every value below was inferred by the black-box parameter "
+      "collector)\n\n");
+  std::printf("%-16s %-6s %-7s %-8s %-13s %-17s %-11s %-9s %-8s\n",
+              "dialect", "page", "endian", "row-id", "column-sizes",
+              "delete-mark", "checksum", "collect", "correct");
+  std::printf("%-16s %-6s %-7s %-8s %-13s %-17s %-11s %-9s %-8s\n", "", "(B)",
+              "", "stored", "", "(Figure 1)", "", "(ms)", "");
+
+  for (const std::string& name : BuiltinDialectNames()) {
+    DatabaseOptions options;
+    options.dialect = name;
+    auto db = Database::Open(options);
+    if (!db.ok()) return 1;
+    MiniDbBlackBox blackbox(db->get());
+    ParameterCollector collector;
+    auto start = std::chrono::steady_clock::now();
+    auto config = collector.Collect(&blackbox);
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    if (!config.ok()) {
+      std::printf("%-16s collection FAILED: %s\n", name.c_str(),
+                  config.status().ToString().c_str());
+      continue;
+    }
+    CarverConfig truth;
+    truth.params = GetDialect(name).value();
+    truth.catalog_object_id = kCatalogObjectId;
+    const PageLayoutParams& p = config->params;
+    std::printf("%-16s %-6u %-7s %-8s %-13s %-17s %-11s %-9lld %-8s\n",
+                name.c_str(), p.page_size, p.big_endian ? "big" : "little",
+                p.stores_row_id ? (p.row_id_varint ? "varint" : "u32") : "no",
+                p.string_mode == StringMode::kInlineSizes
+                    ? "inline"
+                    : "directory",
+                DeleteStrategyName(p.delete_strategy),
+                ChecksumKindName(p.checksum_kind),
+                static_cast<long long>(elapsed),
+                config->ForensicallyEquivalent(truth) ? "yes" : "NO");
+  }
+  std::printf(
+      "\nPaper claim (Table II): row-store layouts share a parameterizable "
+      "structure;\nDBMSes that store column sizes keep numbers and strings "
+      "together (inline),\nothers keep a column directory. All eight were "
+      "recovered black-box.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E9 — LogEventAnalysis (Section III-C): backdating detection rate versus
+// the number of backdated statements, for both the naive attacker (clock
+// set back, log appended) and the careful attacker (log re-sorted by
+// timestamp to hide the inversions).
+#include <cstdio>
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "core/carver.h"
+#include "storage/dialects.h"
+#include "timeline/log_event_analyzer.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace dbfa;
+
+struct Outcome {
+  size_t backdated_flagged = 0;
+  size_t honest_flagged = 0;
+};
+
+Outcome RunScenario(int backdated, bool resort_log, uint64_t seed) {
+  DatabaseOptions options;
+  options.dialect = "oracle_like";  // stores row identifiers
+  auto db = Database::Open(options).value();
+  TableSchema schema = AccountsSchema("Accounts");
+  (void)db->CreateTable(schema);
+  for (int i = 1; i <= 60; ++i) {
+    (void)db->ExecuteSql(StrFormat(
+        "INSERT INTO Accounts VALUES (%d, 'User%d', 'City', 1.0)", i, i));
+  }
+  int64_t now = db->clock().Peek();
+  db->clock().Set(now - 500'000);
+  for (int i = 0; i < backdated; ++i) {
+    (void)db->ExecuteSql(StrFormat(
+        "INSERT INTO Accounts VALUES (%d, 'Backdated%d', 'City', 1.0)",
+        9000 + i, i));
+  }
+  db->clock().Set(now);
+  for (int i = 61; i <= 80; ++i) {
+    (void)db->ExecuteSql(StrFormat(
+        "INSERT INTO Accounts VALUES (%d, 'User%d', 'City', 1.0)", i, i));
+  }
+
+  AuditLog log = db->audit_log();
+  if (resort_log) {
+    std::vector<AuditEntry> entries = log.entries();
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const AuditEntry& a, const AuditEntry& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    std::string text;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      text += StrFormat("%zu|%lld|", i + 1,
+                        static_cast<long long>(entries[i].timestamp));
+      text += entries[i].sql;
+      text += "\n";
+    }
+    log = AuditLog::FromText(text).value();
+  }
+
+  CarverConfig config;
+  config.params = GetDialect("oracle_like").value();
+  Carver carver(config);
+  auto carve = carver.Carve(db->SnapshotDisk().value()).value();
+  LogEventAnalyzer analyzer(&carve, &log);
+  auto report = analyzer.Analyze().value();
+  Outcome outcome;
+  for (const BackdateFinding& f : report.findings) {
+    if (f.sql.find("Backdated") != std::string::npos) {
+      ++outcome.backdated_flagged;
+    } else {
+      ++outcome.honest_flagged;
+    }
+  }
+  (void)seed;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E9 — backdated-log detection (oracle_like dialect, 80 honest "
+      "inserts)\n\n");
+  std::printf("%-12s | %-22s | %-22s\n", "", "naive attacker",
+              "careful attacker");
+  std::printf("%-12s | %-22s | %-22s\n", "backdated", "(appended log)",
+              "(re-sorted log)");
+  std::printf("%-12s | %-10s %-11s | %-10s %-11s\n", "statements",
+              "caught", "false pos", "caught", "false pos");
+  for (int k : {1, 2, 4, 8, 16}) {
+    Outcome naive = RunScenario(k, /*resort_log=*/false, k);
+    Outcome careful = RunScenario(k, /*resort_log=*/true, k);
+    std::printf("%-12d | %zu/%-8d %-11zu | %zu/%-8d %-11zu\n", k,
+                naive.backdated_flagged, k, naive.honest_flagged,
+                careful.backdated_flagged, k, careful.honest_flagged);
+  }
+  std::printf(
+      "\nPaper claim (Section III-C): 'the order of the [row ids] must be "
+      "consistent\nwith the order of the log file commands' — storage "
+      "metadata a privileged user\ncannot modify exposes backdating even "
+      "when the log file itself is rewritten.\nExpected shape: all "
+      "backdated statements caught, zero false positives, in both\n"
+      "columns.\n");
+  return 0;
+}

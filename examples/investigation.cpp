@@ -1,0 +1,90 @@
+// Investigation: the DBDetective end-to-end scenario (paper Figure 4 and
+// Section III-A). A DBA disables audit logging, deletes a customer and
+// secretly reads a sensitive table, then re-enables logging. The
+// investigator carves disk + RAM and cross-checks against the log.
+#include <cstdio>
+
+#include "core/carver.h"
+#include "detective/dbdetective.h"
+#include "engine/database.h"
+#include "storage/dialects.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace dbfa;
+
+  DatabaseOptions options;
+  options.dialect = "mysql_like";
+  options.buffer_pool_pages = 64;
+  auto db = Database::Open(options).value();
+
+  // --- legitimate, fully logged activity -------------------------------------
+  SyntheticWorkload accounts(db.get(), "Accounts", 42);
+  if (!accounts.Setup(200).ok()) return 1;
+  if (!db->ExecuteSql("CREATE TABLE Payroll (Id INT NOT NULL, Name "
+                      "VARCHAR(24), Salary DOUBLE, PRIMARY KEY (Id))")
+           .ok()) {
+    return 1;
+  }
+  for (int i = 1; i <= 200; ++i) {
+    char sql[160];
+    std::snprintf(sql, sizeof(sql),
+                  "INSERT INTO Payroll VALUES (%d, 'Employee%03d', %d.00)",
+                  i, i, 50000 + i * 13);
+    if (!db->ExecuteSql(sql).ok()) return 1;
+  }
+  if (!db->ExecuteSql("DELETE FROM Accounts WHERE City = 'Chicago'").ok()) {
+    return 1;
+  }
+  // Cache goes cold (e.g. nightly restart); investigators compare RAM
+  // against the log window from this point on.
+  (void)db->SnapshotDisk();
+  (void)db->pager().pool().Clear();
+  uint64_t watermark = db->audit_log().entries().back().seq;
+
+  // --- the attack --------------------------------------------------------------
+  db->audit_log().SetEnabled(false);
+  (void)db->ExecuteSql("DELETE FROM Accounts WHERE Owner = 'Thomas'");
+  (void)db->ExecuteSql("SELECT * FROM Payroll");  // exfiltration read
+  db->audit_log().SetEnabled(true);
+  std::printf("attack done: 1 unlogged DELETE, 1 unlogged SELECT\n\n");
+
+  // --- the investigation ---------------------------------------------------------
+  CarverConfig config;
+  config.params = GetDialect(db->params().dialect).value();
+
+  auto disk = db->SnapshotDisk().value();
+  Carver disk_carver(config);
+  auto disk_carve = disk_carver.Carve(disk).value();
+
+  Bytes ram = db->SnapshotRam();
+  CarveOptions ram_options;
+  ram_options.scan_step = db->params().page_size;
+  Carver ram_carver(config, ram_options);
+  auto ram_carve = ram_carver.Carve(ram).value();
+
+  std::printf("disk carve: %s\n", disk_carve.Summary().c_str());
+  std::printf("ram carve:  %s\n\n", ram_carve.Summary().c_str());
+
+  AuditLog window = db->audit_log().TailAfter(watermark);
+  DbDetective detective(&disk_carve, &db->audit_log(), &ram_carve);
+  auto modifications = detective.FindUnattributedModifications();
+  if (!modifications.ok()) return 1;
+
+  DbDetective read_detective(&disk_carve, &window, &ram_carve);
+  auto reads = read_detective.FindUnloggedReads();
+  if (!reads.ok()) return 1;
+
+  std::printf("=== unattributed modifications ===\n");
+  for (const auto& m : *modifications) {
+    std::printf("  %s\n", m.ToString().c_str());
+  }
+  std::printf("\n=== unlogged reads (cache patterns) ===\n");
+  for (const auto& r : *reads) {
+    std::printf("  %s\n", r.ToString().c_str());
+  }
+  std::printf(
+      "\nThe deleted Accounts rows match no logged predicate, and Payroll's "
+      "\ncached full-scan pattern matches no logged statement.\n");
+  return 0;
+}

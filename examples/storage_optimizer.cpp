@@ -1,0 +1,57 @@
+// Storage optimizer: the PLI use of database forensics (paper Section IV).
+// Timestamps arrive approximately sorted; instead of paying clustered-index
+// maintenance, build a Physical Location Index from the storage layout the
+// carver exposes and answer range queries with a fraction of the I/O of a
+// full scan.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "pli/pli.h"
+
+int main() {
+  using namespace dbfa;
+
+  auto db = Database::Open(DatabaseOptions{}).value();
+  if (!db->ExecuteSql("CREATE TABLE Events (ts INT NOT NULL, sensor INT, "
+                      "reading DOUBLE)")
+           .ok()) {
+    return 1;
+  }
+  // Naturally ordered ingest with slight jitter (approximately clustered).
+  Rng rng(7);
+  const int kRows = 6000;
+  for (int i = 0; i < kRows; ++i) {
+    int64_t ts = 100000 + i + rng.Uniform(-3, 3);
+    char sql[128];
+    std::snprintf(sql, sizeof(sql),
+                  "INSERT INTO Events VALUES (%lld, %d, %d.5)",
+                  static_cast<long long>(ts), static_cast<int>(i % 16),
+                  static_cast<int>(rng.Uniform(0, 100)));
+    if (!db->ExecuteSql(sql).ok()) return 1;
+  }
+
+  auto pli = PhysicalLocationIndex::BuildFromDatabase(db.get(), "Events",
+                                                      "ts", 4);
+  if (!pli.ok()) return 1;
+  std::printf("PLI built: %zu buckets over %zu pages, clustering factor "
+              "%.2f\n\n",
+              pli->buckets().size(), pli->total_pages(),
+              pli->ClusteringFactor());
+
+  std::printf("%-28s %-14s %-14s\n", "range", "PLI pages", "full-scan pages");
+  for (int width : {50, 200, 1000, 4000}) {
+    int64_t lo = 100000 + 1000;
+    int64_t hi = lo + width;
+    auto pages = pli->LookupPages(Value::Int(lo), Value::Int(hi));
+    char range[64];
+    std::snprintf(range, sizeof(range), "ts in [%lld, %lld]",
+                  static_cast<long long>(lo), static_cast<long long>(hi));
+    std::printf("%-28s %-14zu %-14zu\n", range, pages.size(),
+                pli->total_pages());
+  }
+  std::printf(
+      "\nNarrow ranges read a small superset of the exact pages — without "
+      "\nany clustered-index maintenance at ingest time.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "antiforensics/wiper.h"
+
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "engine/database.h"
+
+namespace dbfa {
+
+std::string WipeReport::ToString() const {
+  return StrFormat(
+      "wiped: %zu deleted records, %zu dangling index entries, %zu catalog "
+      "remnants, %zu unallocated pages",
+      deleted_records_wiped, index_entries_wiped, catalog_entries_wiped,
+      unallocated_pages_wiped);
+}
+
+Wiper::Wiper(CarverConfig config)
+    : config_(std::move(config)), fmt_(config_.params) {}
+
+Result<WipeReport> Wiper::WipeImage(Bytes* image) const {
+  WipeReport report;
+  Carver carver(config_);
+  DBFA_ASSIGN_OR_RETURN(CarveResult carve, carver.Carve(*image));
+
+  // Live-record set per object: (page_id, slot) of active records.
+  std::map<uint32_t, std::set<std::pair<uint32_t, uint16_t>>> live;
+  for (const CarvedRecord& r : carve.records) {
+    if (r.status == RowStatus::kActive &&
+        r.slot != CarvedRecord::kOrphanSlot) {
+      live[r.object_id].insert({r.page_id, r.slot});
+    }
+  }
+  for (const CarvedPage& page_meta : carve.pages) {
+    uint8_t* page = image->data() + page_meta.image_offset;
+
+    // Category 4: pages of dropped objects are zero-filled outright.
+    if (carve.dropped_objects.count(page_meta.object_id) != 0) {
+      std::memset(page, 0, config_.params.page_size);
+      ++report.unallocated_pages_wiped;
+      continue;
+    }
+
+    if (page_meta.type == PageType::kData) {
+      bool is_catalog = page_meta.object_id == config_.catalog_object_id;
+      ByteView view(page, config_.params.page_size);
+      // Zero every record the slot directory marks deleted (or that no
+      // longer parses), tombstoning its slot; then hunt orphans.
+      std::set<std::pair<uint16_t, uint16_t>> keep_regions;  // (off, len)
+      uint16_t count = fmt_.RecordCount(page);
+      for (uint16_t s = 0; s < count; ++s) {
+        auto slot = fmt_.GetSlot(page, s);
+        if (!slot.has_value()) continue;
+        auto rec = fmt_.ParseRecordAt(view, slot->offset);
+        if (!rec.ok()) continue;  // already unreadable
+        if (fmt_.IsDeleted(*rec, slot->tombstoned)) {
+          std::memset(page + rec->offset, 0, rec->length);
+          fmt_.SetSlotTombstone(page, s, true);
+          if (is_catalog) {
+            ++report.catalog_entries_wiped;
+          } else {
+            ++report.deleted_records_wiped;
+          }
+        } else {
+          keep_regions.insert({rec->offset, rec->length});
+        }
+      }
+      // Orphaned record bytes (not referenced by any live slot).
+      for (const ParsedRecord& rec : fmt_.ScanRecordsRaw(view)) {
+        if (keep_regions.count({rec.offset, rec.length}) != 0) continue;
+        std::memset(page + rec.offset, 0, rec.length);
+        if (is_catalog) {
+          ++report.catalog_entries_wiped;
+        } else {
+          ++report.deleted_records_wiped;
+        }
+      }
+      fmt_.UpdateChecksum(page);
+      continue;
+    }
+
+    if (page_meta.type == PageType::kIndexLeaf) {
+      // Category 2: drop entries pointing at non-live records.
+      auto meta_it = carve.indexes.find(page_meta.object_id);
+      if (meta_it == carve.indexes.end()) continue;
+      uint32_t table_object = meta_it->second.table_object_id;
+      ByteView view(page, config_.params.page_size);
+      std::vector<Bytes> survivors;
+      size_t dropped = 0;
+      uint16_t count = fmt_.RecordCount(page);
+      for (uint16_t s = 0; s < count; ++s) {
+        auto slot = fmt_.GetSlot(page, s);
+        if (!slot.has_value()) continue;
+        auto entry = fmt_.ParseIndexEntryAt(view, slot->offset);
+        if (!entry.ok()) continue;
+        bool points_to_live =
+            live[table_object].count(
+                {entry->pointer.page_id, entry->pointer.slot}) != 0;
+        if (points_to_live) {
+          survivors.push_back(view.Slice(entry->offset, entry->length)
+                                  .ToBytes());
+        } else {
+          ++dropped;
+        }
+      }
+      if (dropped == 0) continue;
+      uint32_t page_id = fmt_.PageId(page);
+      uint32_t object_id = fmt_.ObjectId(page);
+      uint32_t next = fmt_.NextPage(page);
+      uint64_t lsn = fmt_.Lsn(page);
+      fmt_.InitPage(page, page_id, object_id, PageType::kIndexLeaf);
+      fmt_.SetNextPage(page, next);
+      fmt_.SetLsn(page, lsn);
+      for (const Bytes& entry : survivors) {
+        auto slot = fmt_.InsertRecordBytes(page, entry);
+        if (!slot.ok()) {
+          return Status::Internal("index wipe refill failed: " +
+                                  slot.status().ToString());
+        }
+      }
+      fmt_.UpdateChecksum(page);
+      report.index_entries_wiped += dropped;
+    }
+  }
+  return report;
+}
+
+Result<WipeReport> Wiper::WipeDatabase(Database* db) const {
+  // Wiping needs the whole database at once: dangling-index detection and
+  // dropped-object classification cross file boundaries through the
+  // catalog. Concatenate the files, wipe, and split the image back.
+  DBFA_RETURN_IF_ERROR(db->pager().pool().FlushAll());
+  Bytes combined;
+  std::vector<std::pair<uint32_t, size_t>> extents;  // (object, size)
+  for (uint32_t object_id = 1; object_id <= db->pager().max_object_id();
+       ++object_id) {
+    StorageFile* file = db->pager().file(object_id);
+    if (file == nullptr) continue;
+    extents.emplace_back(object_id, file->bytes().size());
+    combined.insert(combined.end(), file->bytes().begin(),
+                    file->bytes().end());
+  }
+  DBFA_ASSIGN_OR_RETURN(WipeReport report, WipeImage(&combined));
+  size_t offset = 0;
+  for (auto [object_id, size] : extents) {
+    StorageFile* file = db->pager().file(object_id);
+    std::memcpy(file->mutable_bytes().data(), combined.data() + offset,
+                size);
+    offset += size;
+  }
+  DBFA_RETURN_IF_ERROR(db->pager().pool().Clear());
+  return report;
+}
+
+}  // namespace dbfa

@@ -1,0 +1,58 @@
+// Generalized data wiping (Section II-D): erase already-deleted content
+// from DBMS storage so it cannot be carved — the defensive application of
+// anti-forensics ("a corporation can apply data wiping to erase
+// already-deleted customer information to prevent potential data theft").
+//
+// Works at the byte level from a carver configuration, so it applies to
+// any (including closed-source) DBMS whose config was collected. The four
+// categories of the paper are all handled:
+//   1. deleted records        — pages are compacted in place,
+//   2. deleted values         — index entries whose record is deleted or
+//                               gone are dropped from their leaf pages,
+//   3. system catalog         — delete-marked catalog records compacted,
+//   4. unallocated pages      — pages of dropped objects zero-filled.
+// Page metadata (record counts, boundaries, checksums) is repaired so the
+// DBMS keeps working on the wiped file.
+#ifndef DBFA_ANTIFORENSICS_WIPER_H_
+#define DBFA_ANTIFORENSICS_WIPER_H_
+
+#include <string>
+
+#include "core/carver.h"
+#include "engine/database.h"
+
+namespace dbfa {
+
+struct WipeReport {
+  size_t deleted_records_wiped = 0;
+  size_t index_entries_wiped = 0;
+  size_t catalog_entries_wiped = 0;
+  size_t unallocated_pages_wiped = 0;
+
+  std::string ToString() const;
+};
+
+class Wiper {
+ public:
+  explicit Wiper(CarverConfig config);
+
+  /// Wipes all four categories in place. The image stays a valid storage
+  /// image of the same dialect (checksums repaired).
+  Result<WipeReport> WipeImage(Bytes* image) const;
+
+  /// Convenience: wipes a live MiniDB's storage (flushes the buffer pool,
+  /// rewrites the files, drops the pool).
+  Result<WipeReport> WipeDatabase(Database* db) const;
+
+ private:
+  /// Compacts one data page: re-packs only records that are active,
+  /// destroying delete-marked and orphaned bytes.
+  Status CompactDataPage(uint8_t* page) const;
+
+  CarverConfig config_;
+  PageFormatter fmt_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_ANTIFORENSICS_WIPER_H_

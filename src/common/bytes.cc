@@ -1,0 +1,48 @@
+#include "common/bytes.h"
+
+namespace dbfa {
+
+size_t EncodeVarint(uint8_t* p, uint64_t v) {
+  size_t n = 0;
+  while (v >= 0x80) {
+    p[n++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  p[n++] = static_cast<uint8_t>(v);
+  return n;
+}
+
+size_t AppendVarint(Bytes* out, uint64_t v) {
+  uint8_t buf[10];
+  size_t n = EncodeVarint(buf, v);
+  out->insert(out->end(), buf, buf + n);
+  return n;
+}
+
+std::optional<uint64_t> DecodeVarint(ByteView v, size_t off,
+                                     size_t* consumed) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t i = off;
+  while (i < v.size() && shift < 64) {
+    uint8_t b = v[i++];
+    result |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      if (consumed != nullptr) *consumed = i - off;
+      return result;
+    }
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace dbfa

@@ -1,0 +1,152 @@
+// Byte-buffer utilities: endian-aware integer codecs and varints.
+//
+// Forensic carving reads fields out of raw storage captures, so all codecs
+// operate on plain byte ranges rather than structured streams, and every
+// read has a bounds-checked "Try" variant for hostile input.
+#ifndef DBFA_COMMON_BYTES_H_
+#define DBFA_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dbfa {
+
+/// Raw storage bytes (page images, disk images, RAM snapshots).
+using Bytes = std::vector<uint8_t>;
+
+/// Non-owning view over bytes. std::span-like but minimal.
+class ByteView {
+ public:
+  ByteView() : data_(nullptr), size_(0) {}
+  ByteView(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  ByteView(const Bytes& b) : data_(b.data()), size_(b.size()) {}  // NOLINT
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Returns the sub-view [offset, offset+len); clamps to the view's end.
+  ByteView Slice(size_t offset, size_t len = SIZE_MAX) const {
+    if (offset >= size_) return ByteView(data_ + size_, 0);
+    size_t n = size_ - offset;
+    if (len < n) n = len;
+    return ByteView(data_ + offset, n);
+  }
+
+  Bytes ToBytes() const { return Bytes(data_, data_ + size_); }
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+// -- Unchecked fixed-width codecs (callers guarantee bounds) --------------
+
+inline uint16_t ReadU16(const uint8_t* p, bool big_endian) {
+  return big_endian ? static_cast<uint16_t>((p[0] << 8) | p[1])
+                    : static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline uint32_t ReadU32(const uint8_t* p, bool big_endian) {
+  if (big_endian) {
+    return (static_cast<uint32_t>(p[0]) << 24) |
+           (static_cast<uint32_t>(p[1]) << 16) |
+           (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+  }
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t ReadU64(const uint8_t* p, bool big_endian) {
+  uint64_t hi = ReadU32(big_endian ? p : p + 4, big_endian);
+  uint64_t lo = ReadU32(big_endian ? p + 4 : p, big_endian);
+  return (hi << 32) | lo;
+}
+
+inline void WriteU16(uint8_t* p, uint16_t v, bool big_endian) {
+  if (big_endian) {
+    p[0] = static_cast<uint8_t>(v >> 8);
+    p[1] = static_cast<uint8_t>(v);
+  } else {
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+  }
+}
+
+inline void WriteU32(uint8_t* p, uint32_t v, bool big_endian) {
+  if (big_endian) {
+    p[0] = static_cast<uint8_t>(v >> 24);
+    p[1] = static_cast<uint8_t>(v >> 16);
+    p[2] = static_cast<uint8_t>(v >> 8);
+    p[3] = static_cast<uint8_t>(v);
+  } else {
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v >> 16);
+    p[3] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+inline void WriteU64(uint8_t* p, uint64_t v, bool big_endian) {
+  if (big_endian) {
+    WriteU32(p, static_cast<uint32_t>(v >> 32), true);
+    WriteU32(p + 4, static_cast<uint32_t>(v), true);
+  } else {
+    WriteU32(p, static_cast<uint32_t>(v), false);
+    WriteU32(p + 4, static_cast<uint32_t>(v >> 32), false);
+  }
+}
+
+// -- Bounds-checked reads for carving hostile input ------------------------
+
+inline std::optional<uint16_t> TryReadU16(ByteView v, size_t off,
+                                          bool big_endian) {
+  if (off + 2 > v.size()) return std::nullopt;
+  return ReadU16(v.data() + off, big_endian);
+}
+
+inline std::optional<uint32_t> TryReadU32(ByteView v, size_t off,
+                                          bool big_endian) {
+  if (off + 4 > v.size()) return std::nullopt;
+  return ReadU32(v.data() + off, big_endian);
+}
+
+inline std::optional<uint64_t> TryReadU64(ByteView v, size_t off,
+                                          bool big_endian) {
+  if (off + 8 > v.size()) return std::nullopt;
+  return ReadU64(v.data() + off, big_endian);
+}
+
+// -- Varints (LEB128, used by the SQLite-like dialect) ----------------------
+
+/// Appends v as a LEB128 varint; returns the encoded length in bytes.
+size_t AppendVarint(Bytes* out, uint64_t v);
+
+/// Writes v at p (which must have room for 10 bytes); returns encoded length.
+size_t EncodeVarint(uint8_t* p, uint64_t v);
+
+/// Decodes a varint at `off`; advances *consumed. Returns nullopt on
+/// truncation or over-long (>10 byte) encodings.
+std::optional<uint64_t> DecodeVarint(ByteView v, size_t off, size_t* consumed);
+
+/// Number of bytes EncodeVarint would produce for v.
+size_t VarintLength(uint64_t v);
+
+/// Appends raw bytes to a buffer.
+inline void AppendBytes(Bytes* out, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), p, p + n);
+}
+
+}  // namespace dbfa
+
+#endif  // DBFA_COMMON_BYTES_H_

@@ -1,0 +1,138 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace dbfa {
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256>& table =
+      *new std::array<uint32_t, 256>(MakeCrcTable());
+  return table;
+}
+
+}  // namespace
+
+const char* ChecksumKindName(ChecksumKind kind) {
+  switch (kind) {
+    case ChecksumKind::kNone:
+      return "none";
+    case ChecksumKind::kCrc32:
+      return "crc32";
+    case ChecksumKind::kFletcher16:
+      return "fletcher16";
+    case ChecksumKind::kXor8:
+      return "xor8";
+  }
+  return "unknown";
+}
+
+uint32_t Crc32(ByteView data) {
+  const auto& table = CrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < data.size(); ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint16_t Fletcher16(ByteView data) {
+  uint32_t sum1 = 0;
+  uint32_t sum2 = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    sum1 = (sum1 + data[i]) % 255;
+    sum2 = (sum2 + sum1) % 255;
+  }
+  return static_cast<uint16_t>((sum2 << 8) | sum1);
+}
+
+uint8_t Xor8(ByteView data) {
+  uint8_t x = 0;
+  for (size_t i = 0; i < data.size(); ++i) x ^= data[i];
+  return x;
+}
+
+size_t ChecksumWidth(ChecksumKind kind) {
+  switch (kind) {
+    case ChecksumKind::kNone:
+      return 0;
+    case ChecksumKind::kCrc32:
+      return 4;
+    case ChecksumKind::kFletcher16:
+      return 2;
+    case ChecksumKind::kXor8:
+      return 1;
+  }
+  return 0;
+}
+
+ChecksumStream::ChecksumStream(ChecksumKind kind) : kind_(kind) {
+  if (kind_ == ChecksumKind::kCrc32) a_ = 0xFFFFFFFFu;
+}
+
+void ChecksumStream::Update(ByteView data) {
+  switch (kind_) {
+    case ChecksumKind::kNone:
+      break;
+    case ChecksumKind::kCrc32: {
+      const auto& table = CrcTable();
+      uint32_t c = a_;
+      for (size_t i = 0; i < data.size(); ++i) {
+        c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+      }
+      a_ = c;
+      break;
+    }
+    case ChecksumKind::kFletcher16:
+      for (size_t i = 0; i < data.size(); ++i) {
+        a_ = (a_ + data[i]) % 255;
+        b_ = (b_ + a_) % 255;
+      }
+      break;
+    case ChecksumKind::kXor8:
+      for (size_t i = 0; i < data.size(); ++i) a_ ^= data[i];
+      break;
+  }
+}
+
+uint32_t ChecksumStream::Final() const {
+  switch (kind_) {
+    case ChecksumKind::kNone:
+      return 0;
+    case ChecksumKind::kCrc32:
+      return a_ ^ 0xFFFFFFFFu;
+    case ChecksumKind::kFletcher16:
+      return (b_ << 8) | a_;
+    case ChecksumKind::kXor8:
+      return a_ & 0xFF;
+  }
+  return 0;
+}
+
+uint32_t ComputeChecksum(ChecksumKind kind, ByteView data) {
+  switch (kind) {
+    case ChecksumKind::kNone:
+      return 0;
+    case ChecksumKind::kCrc32:
+      return Crc32(data);
+    case ChecksumKind::kFletcher16:
+      return Fletcher16(data);
+    case ChecksumKind::kXor8:
+      return Xor8(data);
+  }
+  return 0;
+}
+
+}  // namespace dbfa

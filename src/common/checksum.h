@@ -1,0 +1,59 @@
+// Page checksum algorithms. Real row-store DBMSes disagree about page
+// checksums (algorithm, width, coverage), so the dialect layer picks one of
+// these per dialect, and the parameter collector has to re-discover which
+// one is in use from captured storage alone.
+#ifndef DBFA_COMMON_CHECKSUM_H_
+#define DBFA_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dbfa {
+
+/// Checksum algorithm identifiers, serialized into carver config files.
+enum class ChecksumKind : uint8_t {
+  kNone = 0,
+  kCrc32 = 1,       // CRC-32 (IEEE 802.3 polynomial), 4 bytes.
+  kFletcher16 = 2,  // Fletcher-16 stored in 2 bytes.
+  kXor8 = 3,        // Single-byte XOR fold.
+};
+
+const char* ChecksumKindName(ChecksumKind kind);
+
+/// CRC-32 (reflected, polynomial 0xEDB88320) over `data`.
+uint32_t Crc32(ByteView data);
+
+/// Fletcher-16 over `data`.
+uint16_t Fletcher16(ByteView data);
+
+/// XOR of all bytes.
+uint8_t Xor8(ByteView data);
+
+/// Width in bytes of the stored checksum field for `kind` (0 for kNone).
+size_t ChecksumWidth(ChecksumKind kind);
+
+/// Computes the checksum of `kind` over `data`, truncated into the field
+/// width. For kNone returns 0.
+uint32_t ComputeChecksum(ChecksumKind kind, ByteView data);
+
+/// Incremental checksum over a sequence of byte ranges. Page checksums are
+/// defined over the page bytes *excluding* the stored checksum field, which
+/// requires feeding two disjoint spans.
+class ChecksumStream {
+ public:
+  explicit ChecksumStream(ChecksumKind kind);
+
+  void Update(ByteView data);
+  /// Finishes and returns the checksum truncated to the field width.
+  uint32_t Final() const;
+
+ private:
+  ChecksumKind kind_;
+  uint32_t a_ = 0;  // CRC state / Fletcher sum1 / XOR fold
+  uint32_t b_ = 0;  // Fletcher sum2
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_COMMON_CHECKSUM_H_

@@ -1,0 +1,40 @@
+#include "common/hexdump.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace dbfa {
+
+std::string HexDump(ByteView data, size_t base_offset) {
+  std::string out;
+  for (size_t line = 0; line < data.size(); line += 16) {
+    out += StrFormat("%08zx  ", base_offset + line);
+    for (size_t i = 0; i < 16; ++i) {
+      if (line + i < data.size()) {
+        out += StrFormat("%02x ", data[line + i]);
+      } else {
+        out += "   ";
+      }
+      if (i == 7) out += " ";
+    }
+    out += " |";
+    for (size_t i = 0; i < 16 && line + i < data.size(); ++i) {
+      uint8_t c = data[line + i];
+      out += std::isprint(c) ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string HexBytes(ByteView data) {
+  std::string out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += StrFormat("%02X", data[i]);
+  }
+  return out;
+}
+
+}  // namespace dbfa

@@ -1,0 +1,20 @@
+// Hexdump formatting for diagnostics and forensic reports.
+#ifndef DBFA_COMMON_HEXDUMP_H_
+#define DBFA_COMMON_HEXDUMP_H_
+
+#include <string>
+
+#include "common/bytes.h"
+
+namespace dbfa {
+
+/// Classic 16-bytes-per-line hexdump with an ASCII gutter. `base_offset` is
+/// added to the printed offsets (useful when dumping a slice of an image).
+std::string HexDump(ByteView data, size_t base_offset = 0);
+
+/// Compact "DE AD BE EF" rendering of a short byte run.
+std::string HexBytes(ByteView data);
+
+}  // namespace dbfa
+
+#endif  // DBFA_COMMON_HEXDUMP_H_

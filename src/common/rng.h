@@ -1,0 +1,75 @@
+// Deterministic pseudo-random generator. All workload generators and
+// benchmarks take explicit seeds so every experiment is reproducible
+// (Section III-D of the paper calls for reproducible analysis).
+#ifndef DBFA_COMMON_RNG_H_
+#define DBFA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbfa {
+
+/// splitmix64-seeded xoshiro256** generator. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextU64() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Uniformly picks one element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[NextU64() % v.size()];
+  }
+
+  /// Random ASCII upper-case string of length n.
+  std::string Word(size_t n) {
+    std::string s(n, 'A');
+    for (char& c : s) c = static_cast<char>('A' + NextU64() % 26);
+    return s;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_COMMON_RNG_H_

@@ -1,0 +1,141 @@
+// Error-handling primitives for dbfa. The library does not use exceptions;
+// fallible operations return Status, and fallible value-producing operations
+// return Result<T>.
+#ifndef DBFA_COMMON_STATUS_H_
+#define DBFA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dbfa {
+
+/// Machine-readable error categories, loosely following absl/gRPC codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCorruption,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+};
+
+/// Returns a stable human-readable name such as "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Analogous to
+/// absl::StatusOr. Accessing value() on an error aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a Status keeps call sites terse:
+  ///   Result<int> F() { if (bad) return Status::NotFound("x"); return 42; }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "use the value constructor for success");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dbfa
+
+/// Propagates an error Status from a Status-returning expression.
+#define DBFA_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::dbfa::Status dbfa_status_tmp_ = (expr);     \
+    if (!dbfa_status_tmp_.ok()) return dbfa_status_tmp_; \
+  } while (0)
+
+/// Evaluates a Result<T>-returning expression; on success binds the value to
+/// lhs, on failure propagates the Status.
+#define DBFA_ASSIGN_OR_RETURN(lhs, expr)                       \
+  DBFA_ASSIGN_OR_RETURN_IMPL_(                                 \
+      DBFA_STATUS_CONCAT_(dbfa_result_, __LINE__), lhs, expr)
+#define DBFA_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+#define DBFA_STATUS_CONCAT_(a, b) DBFA_STATUS_CONCAT_IMPL_(a, b)
+#define DBFA_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // DBFA_COMMON_STATUS_H_

@@ -1,0 +1,72 @@
+#include "core/artifacts.h"
+
+#include "common/strings.h"
+
+namespace dbfa {
+
+const TableSchema* CarveResult::SchemaByName(const std::string& table) const {
+  for (const auto& [object_id, schema] : schemas) {
+    if (EqualsIgnoreCase(schema.name, table)) return &schema;
+  }
+  return nullptr;
+}
+
+uint32_t CarveResult::ObjectIdByName(const std::string& table) const {
+  for (const auto& [object_id, schema] : schemas) {
+    if (EqualsIgnoreCase(schema.name, table)) return object_id;
+  }
+  return 0;
+}
+
+std::vector<const CarvedRecord*> CarveResult::RecordsForTable(
+    const std::string& table, std::optional<RowStatus> status) const {
+  std::vector<const CarvedRecord*> out;
+  uint32_t object_id = ObjectIdByName(table);
+  if (object_id == 0) return out;
+  for (const CarvedRecord& r : records) {
+    if (r.object_id != object_id) continue;
+    if (status.has_value() && r.status != *status) continue;
+    out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const CarvedIndexEntry*> CarveResult::EntriesForIndex(
+    uint32_t index_object_id) const {
+  std::vector<const CarvedIndexEntry*> out;
+  for (const CarvedIndexEntry& e : index_entries) {
+    if (e.object_id == index_object_id && e.leaf) out.push_back(&e);
+  }
+  return out;
+}
+
+size_t CarveResult::CountRecords(RowStatus status) const {
+  size_t n = 0;
+  for (const CarvedRecord& r : records) {
+    if (r.status == status) ++n;
+  }
+  return n;
+}
+
+std::string CarveResult::Summary() const {
+  size_t data_pages = 0;
+  size_t index_pages = 0;
+  size_t bad_checksums = 0;
+  for (const CarvedPage& p : pages) {
+    if (p.type == PageType::kData) ++data_pages;
+    if (p.type == PageType::kIndexLeaf || p.type == PageType::kIndexInternal) {
+      ++index_pages;
+    }
+    if (!p.checksum_ok) ++bad_checksums;
+  }
+  return StrFormat(
+      "dialect=%s image=%zuB pages=%zu (data=%zu index=%zu bad_checksum=%zu) "
+      "records=%zu (active=%zu deleted=%zu) index_entries=%zu "
+      "catalog_entries=%zu schemas=%zu dropped_objects=%zu",
+      dialect.c_str(), image_size, pages.size(), data_pages, index_pages,
+      bad_checksums, records.size(), CountRecords(RowStatus::kActive),
+      CountRecords(RowStatus::kDeleted), index_entries.size(),
+      catalog_entries.size(), schemas.size(), dropped_objects.size());
+}
+
+}  // namespace dbfa

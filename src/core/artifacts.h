@@ -1,0 +1,134 @@
+// Storage artifacts reconstructed by the carver (Figure 2, output H):
+// pages, user records (active and deleted), index entries, and system
+// catalog content. These are the inputs to meta-querying (Section II-C),
+// DBDetective (III-A) and DBStorageAuditor (III-B).
+#ifndef DBFA_CORE_ARTIFACTS_H_
+#define DBFA_CORE_ARTIFACTS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/page_formatter.h"
+#include "storage/page_layout.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace dbfa {
+
+/// One reconstructed page.
+struct CarvedPage {
+  size_t image_offset = 0;  // byte offset within the carved image
+  uint32_t page_id = 0;
+  uint32_t object_id = 0;
+  PageType type = PageType::kData;
+  uint16_t record_count = 0;
+  uint32_t next_page = 0;  // heap / leaf chain
+  uint64_t lsn = 0;
+  bool checksum_ok = true;
+};
+
+enum class RowStatus { kActive, kDeleted };
+
+inline const char* RowStatusName(RowStatus s) {
+  return s == RowStatus::kActive ? "ACTIVE" : "DELETED";
+}
+
+/// One reconstructed record.
+struct CarvedRecord {
+  size_t page_index = 0;  // index into CarveResult::pages
+  uint32_t object_id = 0;
+  uint32_t page_id = 0;
+  /// Slot within the page; kOrphanSlot when recovered by the raw scan
+  /// (slot directory bypassed).
+  uint16_t slot = 0;
+  static constexpr uint16_t kOrphanSlot = 0xFFFF;
+
+  RowStatus status = RowStatus::kActive;
+  uint64_t row_id = 0;
+  uint64_t page_lsn = 0;
+  Record values;
+  /// True when a reconstructed schema drove the decoding; false for
+  /// best-effort untyped decoding.
+  bool typed = false;
+};
+
+/// One reconstructed index entry ("deleted values" live here after the
+/// record they point to is deleted).
+struct CarvedIndexEntry {
+  size_t page_index = 0;
+  uint32_t object_id = 0;
+  uint32_t page_id = 0;
+  /// True for leaf entries (pointer = row pointer); false for internal
+  /// separators (pointer.page_id = child index page).
+  bool leaf = true;
+  std::vector<Value> keys;
+  RowPointer pointer;
+};
+
+/// One reconstructed system-catalog row.
+struct CarvedCatalogEntry {
+  std::string entry_type;  // "TABLE" / "INDEX"
+  std::string name;
+  uint32_t object_id = 0;
+  uint32_t table_object_id = 0;
+  uint32_t root_page = 0;
+  std::string info;  // serialized schema / index column list
+  RowStatus status = RowStatus::kActive;
+};
+
+/// Index metadata recovered from the catalog.
+struct CarvedIndexMeta {
+  std::string name;
+  uint32_t object_id = 0;
+  uint32_t table_object_id = 0;
+  uint32_t root_page = 0;
+  std::vector<std::string> columns;
+  bool dropped = false;
+};
+
+/// Everything reconstructed from one image with one dialect config.
+struct CarveResult {
+  std::string dialect;
+  size_t image_size = 0;
+
+  std::vector<CarvedPage> pages;
+  std::vector<CarvedRecord> records;
+  std::vector<CarvedIndexEntry> index_entries;
+  std::vector<CarvedCatalogEntry> catalog_entries;
+
+  /// object id -> schema, from catalog TABLE entries (active or deleted).
+  std::map<uint32_t, TableSchema> schemas;
+  /// index object id -> metadata, from catalog INDEX entries.
+  std::map<uint32_t, CarvedIndexMeta> indexes;
+  /// Objects whose catalog entries are all delete-marked: dropped tables /
+  /// rebuilt indexes — the "deleted pages" category.
+  std::set<uint32_t> dropped_objects;
+
+  /// Table schema by (case-insensitive) name; nullptr when unknown.
+  const TableSchema* SchemaByName(const std::string& table) const;
+  /// Object id for a table name; 0 when unknown.
+  uint32_t ObjectIdByName(const std::string& table) const;
+
+  /// Records of one table (by name), optionally filtered by status.
+  std::vector<const CarvedRecord*> RecordsForTable(
+      const std::string& table,
+      std::optional<RowStatus> status = std::nullopt) const;
+
+  /// Index entries belonging to one index object.
+  std::vector<const CarvedIndexEntry*> EntriesForIndex(
+      uint32_t index_object_id) const;
+
+  /// Counts by status for quick reporting.
+  size_t CountRecords(RowStatus status) const;
+
+  /// Human-readable inventory summary.
+  std::string Summary() const;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_CORE_ARTIFACTS_H_

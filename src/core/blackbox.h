@@ -1,0 +1,54 @@
+// The parameter collector's view of a DBMS (Figure 2, components B/C):
+// the collector may load synthetic data through a generic SQL interface
+// and capture raw storage bytes — nothing else. This is precisely the
+// access DBCarver's parameter detector has to a real, possibly
+// closed-source DBMS.
+#ifndef DBFA_CORE_BLACKBOX_H_
+#define DBFA_CORE_BLACKBOX_H_
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace dbfa {
+
+class BlackBoxDbms {
+ public:
+  virtual ~BlackBoxDbms() = default;
+
+  /// Executes one SQL statement (DDL/DML) on the live DBMS.
+  virtual Status Execute(const std::string& sql) = 0;
+
+  /// Captures all persistent storage as one byte stream (each file flushed
+  /// and whole-page aligned, files concatenated).
+  virtual Result<Bytes> CaptureStorage() = 0;
+
+  /// Vendor label for the emitted configuration file.
+  virtual std::string VendorName() const = 0;
+};
+
+/// Black-box adapter over a MiniDB instance. The collector interacts with
+/// the Database exclusively through SQL text and storage snapshots.
+class MiniDbBlackBox : public BlackBoxDbms {
+ public:
+  /// Does not take ownership; `db` must outlive the adapter.
+  explicit MiniDbBlackBox(Database* db) : db_(db) {}
+
+  Status Execute(const std::string& sql) override {
+    return db_->ExecuteSql(sql).status();
+  }
+
+  Result<Bytes> CaptureStorage() override { return db_->SnapshotDisk(); }
+
+  std::string VendorName() const override { return db_->params().dialect; }
+
+ private:
+  Database* db_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_CORE_BLACKBOX_H_

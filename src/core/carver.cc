@@ -1,0 +1,280 @@
+#include "core/carver.h"
+
+#include <cstring>
+#include <set>
+
+#include "common/strings.h"
+
+namespace dbfa {
+namespace {
+
+/// Sanity bounds for header fields of a candidate page.
+constexpr uint32_t kMaxPlausibleId = 1u << 24;
+
+bool KnownPageType(uint8_t t) {
+  return t == static_cast<uint8_t>(PageType::kData) ||
+         t == static_cast<uint8_t>(PageType::kIndexLeaf) ||
+         t == static_cast<uint8_t>(PageType::kIndexInternal) ||
+         t == static_cast<uint8_t>(PageType::kFree);
+}
+
+}  // namespace
+
+Carver::Carver(CarverConfig config, CarveOptions options)
+    : config_(std::move(config)), fmt_(config_.params), options_(options) {}
+
+bool Carver::LooksLikePage(ByteView image, size_t offset,
+                           bool* checksum_ok) const {
+  const PageLayoutParams& p = config_.params;
+  if (offset + p.page_size > image.size()) return false;
+  const uint8_t* page = image.data() + offset;
+  if (std::memcmp(page + p.magic_offset, p.magic.data(), p.magic.size()) !=
+      0) {
+    return false;
+  }
+  uint32_t page_id = fmt_.PageId(page);
+  uint32_t object_id = fmt_.ObjectId(page);
+  if (page_id == 0 || page_id > kMaxPlausibleId) return false;
+  if (object_id == 0 || object_id > kMaxPlausibleId) return false;
+  if (!KnownPageType(page[p.page_type_offset])) return false;
+  uint16_t count = fmt_.RecordCount(page);
+  if (count > p.page_size / 2) return false;
+  uint16_t boundary = fmt_.FreeBoundary(page);
+  if (boundary > p.page_size) return false;
+  *checksum_ok = fmt_.VerifyChecksum(page);
+  return true;
+}
+
+Result<CarveResult> Carver::Carve(ByteView image) const {
+  const PageLayoutParams& p = config_.params;
+  CarveResult result;
+  result.dialect = p.dialect;
+  result.image_size = image.size();
+
+  // Pass 1: page detection. Accepting a page advances the cursor by a full
+  // page so page-interior bytes are never re-interpreted as page starts.
+  size_t step = options_.scan_step == 0 ? 512 : options_.scan_step;
+  size_t offset = 0;
+  while (offset + p.page_size <= image.size()) {
+    bool checksum_ok = false;
+    if (!LooksLikePage(image, offset, &checksum_ok)) {
+      offset += step;
+      continue;
+    }
+    const uint8_t* page = image.data() + offset;
+    CarvedPage carved;
+    carved.image_offset = offset;
+    carved.page_id = fmt_.PageId(page);
+    carved.object_id = fmt_.ObjectId(page);
+    carved.type = fmt_.TypeOf(page);
+    carved.record_count = fmt_.RecordCount(page);
+    carved.next_page = fmt_.NextPage(page);
+    carved.lsn = fmt_.Lsn(page);
+    carved.checksum_ok = checksum_ok;
+    result.pages.push_back(carved);
+    offset += p.page_size;
+  }
+
+  // Pass 2: catalog reconstruction (schemas drive typed decoding later).
+  CarveCatalog(image, &result);
+
+  // Pass 3: content.
+  for (size_t i = 0; i < result.pages.size(); ++i) {
+    const CarvedPage& page_meta = result.pages[i];
+    if (!page_meta.checksum_ok && !options_.parse_bad_checksum_pages) {
+      continue;
+    }
+    ByteView page = image.Slice(page_meta.image_offset, p.page_size);
+    switch (page_meta.type) {
+      case PageType::kData:
+        if (page_meta.object_id != config_.catalog_object_id) {
+          CarveDataPage(page, i, &result);
+        }
+        break;
+      case PageType::kIndexLeaf:
+      case PageType::kIndexInternal:
+        CarveIndexPage(page, i, &result);
+        break;
+      case PageType::kFree:
+        break;
+    }
+  }
+  return result;
+}
+
+void Carver::CarveCatalog(ByteView image, CarveResult* result) const {
+  const PageLayoutParams& p = config_.params;
+  for (const CarvedPage& page_meta : result->pages) {
+    if (page_meta.object_id != config_.catalog_object_id ||
+        page_meta.type != PageType::kData) {
+      continue;
+    }
+    ByteView page = image.Slice(page_meta.image_offset, p.page_size);
+    for (uint16_t s = 0; s < page_meta.record_count; ++s) {
+      auto slot = fmt_.GetSlot(page.data(), s);
+      if (!slot.has_value()) continue;
+      auto rec = fmt_.ParseRecordAt(page, slot->offset);
+      if (!rec.ok()) continue;
+      Record values = fmt_.DecodeUntyped(*rec);
+      // Catalog rows are (str, str, int, int, int, str).
+      if (values.size() != 6) continue;
+      if (values[0].type() != ValueType::kString ||
+          values[1].type() != ValueType::kString ||
+          values[2].type() != ValueType::kInt ||
+          values[3].type() != ValueType::kInt ||
+          values[4].type() != ValueType::kInt) {
+        continue;
+      }
+      CarvedCatalogEntry entry;
+      entry.entry_type = values[0].as_string();
+      entry.name = values[1].as_string();
+      entry.object_id = static_cast<uint32_t>(values[2].as_int());
+      entry.table_object_id = static_cast<uint32_t>(values[3].as_int());
+      entry.root_page = static_cast<uint32_t>(values[4].as_int());
+      entry.info =
+          values[5].type() == ValueType::kString ? values[5].as_string() : "";
+      entry.status = fmt_.IsDeleted(*rec, slot->tombstoned)
+                         ? RowStatus::kDeleted
+                         : RowStatus::kActive;
+      result->catalog_entries.push_back(std::move(entry));
+    }
+  }
+
+  // Interpret: schemas, index metadata, dropped objects. Active entries
+  // win; delete-marked entries fill in dropped objects.
+  std::set<uint32_t> active_objects;
+  for (const CarvedCatalogEntry& e : result->catalog_entries) {
+    if (e.status == RowStatus::kActive) active_objects.insert(e.object_id);
+  }
+  for (const CarvedCatalogEntry& e : result->catalog_entries) {
+    if (e.entry_type == "TABLE") {
+      auto schema = TableSchema::Deserialize(e.info);
+      if (schema.ok() &&
+          (e.status == RowStatus::kActive ||
+           result->schemas.count(e.object_id) == 0)) {
+        result->schemas[e.object_id] = *schema;
+      }
+    } else if (e.entry_type == "INDEX") {
+      auto it = result->indexes.find(e.object_id);
+      if (it == result->indexes.end() || e.status == RowStatus::kActive) {
+        CarvedIndexMeta meta;
+        meta.name = e.name;
+        meta.object_id = e.object_id;
+        meta.table_object_id = e.table_object_id;
+        meta.root_page = e.root_page;
+        for (const std::string& col : Split(e.info, ',')) {
+          if (!col.empty()) meta.columns.push_back(col);
+        }
+        meta.dropped = active_objects.count(e.object_id) == 0;
+        result->indexes[e.object_id] = std::move(meta);
+      }
+    }
+    if (active_objects.count(e.object_id) == 0) {
+      result->dropped_objects.insert(e.object_id);
+    }
+  }
+}
+
+void Carver::CarveDataPage(ByteView page, size_t page_index,
+                           CarveResult* result) const {
+  const CarvedPage& page_meta = result->pages[page_index];
+  const TableSchema* schema = nullptr;
+  auto schema_it = result->schemas.find(page_meta.object_id);
+  if (schema_it != result->schemas.end()) schema = &schema_it->second;
+
+  std::set<uint16_t> seen_offsets;
+  size_t slot_failures = 0;
+  for (uint16_t s = 0; s < page_meta.record_count; ++s) {
+    auto slot = fmt_.GetSlot(page.data(), s);
+    if (!slot.has_value()) {
+      ++slot_failures;
+      continue;
+    }
+    auto rec = fmt_.ParseRecordAt(page, slot->offset);
+    if (!rec.ok()) {
+      ++slot_failures;
+      continue;
+    }
+    seen_offsets.insert(rec->offset);
+    CarvedRecord carved;
+    carved.page_index = page_index;
+    carved.object_id = page_meta.object_id;
+    carved.page_id = page_meta.page_id;
+    carved.slot = s;
+    carved.status = fmt_.IsDeleted(*rec, slot->tombstoned)
+                        ? RowStatus::kDeleted
+                        : RowStatus::kActive;
+    carved.row_id = rec->row_id;
+    carved.page_lsn = page_meta.lsn;
+    if (schema != nullptr) {
+      auto typed = fmt_.DecodeTyped(*rec, *schema);
+      if (typed.ok()) {
+        carved.values = std::move(typed).value();
+        carved.typed = true;
+      }
+    }
+    if (!carved.typed) carved.values = fmt_.DecodeUntyped(*rec);
+    result->records.push_back(std::move(carved));
+  }
+
+  // Raw-scan fallback: recover records the slot directory no longer
+  // references (corruption, tampered directories).
+  bool want_raw = options_.raw_scan_fallback &&
+                  (slot_failures > 0 || !page_meta.checksum_ok);
+  if (!want_raw) return;
+  for (const ParsedRecord& rec : fmt_.ScanRecordsRaw(page)) {
+    if (seen_offsets.count(rec.offset) != 0) continue;
+    CarvedRecord carved;
+    carved.page_index = page_index;
+    carved.object_id = page_meta.object_id;
+    carved.page_id = page_meta.page_id;
+    carved.slot = CarvedRecord::kOrphanSlot;
+    // A record invisible to the slot directory is unallocated storage.
+    carved.status = RowStatus::kDeleted;
+    carved.row_id = rec.row_id;
+    carved.page_lsn = page_meta.lsn;
+    if (schema != nullptr) {
+      auto typed = fmt_.DecodeTyped(rec, *schema);
+      if (typed.ok()) {
+        carved.values = std::move(typed).value();
+        carved.typed = true;
+      }
+    }
+    if (!carved.typed) carved.values = fmt_.DecodeUntyped(rec);
+    result->records.push_back(std::move(carved));
+  }
+}
+
+void Carver::CarveIndexPage(ByteView page, size_t page_index,
+                            CarveResult* result) const {
+  const CarvedPage& page_meta = result->pages[page_index];
+  for (uint16_t s = 0; s < page_meta.record_count; ++s) {
+    auto slot = fmt_.GetSlot(page.data(), s);
+    if (!slot.has_value()) continue;
+    auto entry = fmt_.ParseIndexEntryAt(page, slot->offset);
+    if (!entry.ok()) continue;
+    CarvedIndexEntry carved;
+    carved.page_index = page_index;
+    carved.object_id = page_meta.object_id;
+    carved.page_id = page_meta.page_id;
+    carved.leaf = page_meta.type == PageType::kIndexLeaf;
+    carved.keys = std::move(entry->keys);
+    carved.pointer = entry->pointer;
+    result->index_entries.push_back(std::move(carved));
+  }
+}
+
+Result<std::vector<CarveResult>> Carver::CarveMulti(
+    ByteView image, const std::vector<CarverConfig>& configs,
+    CarveOptions options) {
+  std::vector<CarveResult> results;
+  results.reserve(configs.size());
+  for (const CarverConfig& config : configs) {
+    Carver carver(config, options);
+    DBFA_ASSIGN_OR_RETURN(CarveResult r, carver.Carve(image));
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace dbfa

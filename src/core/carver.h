@@ -1,0 +1,73 @@
+// The carver (Figure 2, component F): reconstructs database content from
+// any byte stream — disk images, RAM snapshots, or arbitrary files —
+// using only a page-layout configuration. No DBMS, no filesystem.
+//
+// Pipeline per image:
+//   1. page detection  — scan at sector granularity for pages matching the
+//      config's magic + sane header fields; checksums classify corruption.
+//   2. catalog pass    — decode pages of the catalog object untyped (the
+//      catalog's column shape is universal: strings + integers), recover
+//      table schemas and index metadata, including delete-marked entries
+//      (dropped objects).
+//   3. content pass    — decode data pages (typed when a schema is known),
+//      classify every record active/deleted per the dialect's delete
+//      strategy, parse index pages into (key, pointer) entries.
+//   4. raw-scan pass   — slot-directory-independent record scan on pages
+//      whose structure looks damaged, recovering what slots no longer
+//      reference.
+#ifndef DBFA_CORE_CARVER_H_
+#define DBFA_CORE_CARVER_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/artifacts.h"
+#include "core/config_io.h"
+
+namespace dbfa {
+
+struct CarveOptions {
+  /// Scan step for page detection. 512 models disk-sector granularity;
+  /// images assembled from files and sector-sized garbage runs are always
+  /// detected. Set to 1 for exhaustive (slow) scans of arbitrary blobs.
+  size_t scan_step = 512;
+  /// Parse pages whose checksum fails (flagged in CarvedPage::checksum_ok).
+  bool parse_bad_checksum_pages = true;
+  /// Run the slot-independent raw scan on pages whose slot directory is
+  /// missing records or damaged.
+  bool raw_scan_fallback = true;
+};
+
+class Carver {
+ public:
+  explicit Carver(CarverConfig config, CarveOptions options = {});
+
+  const CarverConfig& config() const { return config_; }
+
+  /// Reconstructs all artifacts of this config's dialect from `image`.
+  Result<CarveResult> Carve(ByteView image) const;
+
+  /// Runs one carver per candidate config over the same image (multi-DBMS
+  /// images); returns one result per config, same order.
+  static Result<std::vector<CarveResult>> CarveMulti(
+      ByteView image, const std::vector<CarverConfig>& configs,
+      CarveOptions options = {});
+
+ private:
+  /// True when the bytes at `offset` look like a page of this dialect.
+  bool LooksLikePage(ByteView image, size_t offset, bool* checksum_ok) const;
+
+  void CarveCatalog(ByteView image, CarveResult* result) const;
+  void CarveDataPage(ByteView page, size_t page_index,
+                     CarveResult* result) const;
+  void CarveIndexPage(ByteView page, size_t page_index,
+                      CarveResult* result) const;
+
+  CarverConfig config_;
+  PageFormatter fmt_;
+  CarveOptions options_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_CORE_CARVER_H_

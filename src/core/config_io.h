@@ -1,0 +1,39 @@
+// Carver configuration files (Figure 2, artifact E): the text files the
+// parameter collector emits and the carver consumes. One file fully
+// describes the page layout of one DBMS (version).
+#ifndef DBFA_CORE_CONFIG_IO_H_
+#define DBFA_CORE_CONFIG_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/page_layout.h"
+
+namespace dbfa {
+
+/// A carver configuration: the layout parameters plus engine conventions
+/// discovered alongside them.
+struct CarverConfig {
+  PageLayoutParams params;
+  /// Object id of the system catalog (discovered by locating schema text).
+  uint32_t catalog_object_id = 1;
+
+  /// Compares the fields that affect carving. Delete markers that the
+  /// dialect's strategy never writes (e.g. the deleted row-delimiter value
+  /// of a data-delimiter-marking DBMS) are unobservable by a black-box
+  /// collector and are excluded.
+  bool ForensicallyEquivalent(const CarverConfig& other) const;
+};
+
+/// Renders a configuration as an INI-style text file.
+std::string ConfigToText(const CarverConfig& config);
+
+/// Parses a configuration file; validates the result.
+Result<CarverConfig> ConfigFromText(const std::string& text);
+
+Status SaveConfig(const std::string& path, const CarverConfig& config);
+Result<CarverConfig> LoadConfig(const std::string& path);
+
+}  // namespace dbfa
+
+#endif  // DBFA_CORE_CONFIG_IO_H_

@@ -1,0 +1,57 @@
+#include "core/page_builder.h"
+
+namespace dbfa {
+
+Result<Bytes> ExternalPageBuilder::BuildTableFile(
+    const TableSchema& schema, const std::vector<Record>& rows,
+    uint32_t object_id, uint64_t first_row_id) const {
+  const uint32_t page_size = config_.params.page_size;
+  Bytes file;
+  auto start_page = [&]() -> uint8_t* {
+    size_t offset = file.size();
+    file.resize(offset + page_size, 0);
+    uint8_t* page = file.data() + offset;
+    uint32_t page_id = static_cast<uint32_t>(file.size() / page_size);
+    fmt_.InitPage(page, page_id, object_id, PageType::kData);
+    fmt_.SetLsn(page, page_id);  // monotone, self-consistent stamps
+    return page;
+  };
+
+  uint8_t* page = start_page();
+  uint64_t row_id = first_row_id;
+  for (const Record& row : rows) {
+    if (!schema.TypeCheck(row)) {
+      return Status::InvalidArgument("row does not match schema: " +
+                                     RecordToString(row));
+    }
+    DBFA_ASSIGN_OR_RETURN(Bytes encoded,
+                          fmt_.EncodeRecord(schema, row, row_id));
+    auto slot = fmt_.InsertRecordBytes(page, encoded);
+    if (!slot.ok()) {
+      if (slot.status().code() != StatusCode::kOutOfRange) {
+        return slot.status();
+      }
+      // Chain a fresh page. start_page() may reallocate `file`, so link
+      // afterwards through recomputed pointers.
+      uint32_t full_page_id = fmt_.PageId(page);
+      (void)start_page();
+      uint32_t new_page_id =
+          static_cast<uint32_t>(file.size() / page_size);
+      uint8_t* full_page =
+          file.data() + static_cast<size_t>(full_page_id - 1) * page_size;
+      fmt_.SetNextPage(full_page, new_page_id);
+      fmt_.UpdateChecksum(full_page);
+      page = file.data() + static_cast<size_t>(new_page_id - 1) * page_size;
+      auto retry = fmt_.InsertRecordBytes(page, encoded);
+      if (!retry.ok()) {
+        return Status::InvalidArgument(
+            "record does not fit an empty page of this dialect");
+      }
+    }
+    fmt_.UpdateChecksum(page);
+    ++row_id;
+  }
+  return file;
+}
+
+}  // namespace dbfa

@@ -1,0 +1,45 @@
+// External page building (Section IV-b, future work — built): "DBCarver
+// creates parameters for the purpose of deconstructing DBMS storage ...
+// our future work uses these same parameters to construct DBMS files
+// externally. Once the DBMS files are constructed, we believe they can be
+// appended to a database instance with minor changes to system and file
+// metadata."
+//
+// ExternalPageBuilder writes a complete, valid heap file (chained data
+// pages, correct slot directories, LSNs and checksums) for a schema and a
+// row set, from a carver configuration alone — no engine involved. The
+// counterpart Database::AttachExternalTable (engine/database.h) performs
+// the paper's "minor changes": rewriting the object-id field of each page
+// and repairing checksums, then registering the table in the catalog.
+#ifndef DBFA_CORE_PAGE_BUILDER_H_
+#define DBFA_CORE_PAGE_BUILDER_H_
+
+#include <vector>
+
+#include "core/config_io.h"
+#include "storage/page_formatter.h"
+#include "storage/schema.h"
+
+namespace dbfa {
+
+class ExternalPageBuilder {
+ public:
+  explicit ExternalPageBuilder(CarverConfig config)
+      : config_(std::move(config)), fmt_(config_.params) {}
+
+  /// Builds a heap file: pages 1..n chained via next-page pointers, each
+  /// holding as many records as fit. `object_id` is a placeholder the
+  /// attaching instance will rewrite. Row ids start at `first_row_id`.
+  Result<Bytes> BuildTableFile(const TableSchema& schema,
+                               const std::vector<Record>& rows,
+                               uint32_t object_id = 1000,
+                               uint64_t first_row_id = 1) const;
+
+ private:
+  CarverConfig config_;
+  PageFormatter fmt_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_CORE_PAGE_BUILDER_H_

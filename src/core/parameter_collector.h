@@ -1,0 +1,69 @@
+// The parameter collector (Figure 2, component A): deduces a DBMS's page
+// layout from the outside. It loads synthetic data through SQL, captures
+// raw storage, and infers every PageLayoutParams field by searching for the
+// planted values and differencing captures across an insert and a delete —
+// with no access to the engine's code or headers.
+//
+// Inference pipeline (each step narrows the next):
+//   1. page size + page-id field + byte order  — a u32 header field that
+//      increments by one page-to-page at some (size, offset, endian).
+//   2. record-count field — a u16 equal to the known per-page count of
+//      planted markers; fixes the byte order.
+//   3. magic — the longest constant non-zero byte run across all pages.
+//   4. object-id field — constant within a table's pages, distinct across
+//      tables (two probe tables + the catalog give three groups).
+//   5. page-type field — one value on all data pages, another on index
+//      pages, at the lowest qualifying offset.
+//   6. page-LSN field — a u64, unique per page, small in magnitude, that
+//      grows on the page modified between captures.
+//   7. checksum — the (algorithm, offset) that validates every page.
+//   8. slot directory — a self-validating array of in-page offsets, each
+//      pointing just before a planted marker; yields placement, entry
+//      size, and header size.
+//   9. record framing — row delimiter, row-identifier presence/width,
+//      string-size mode, data delimiter, record-length field, probing the
+//      known column values (first column is a marker string).
+//  10. free-space field — u16 equal to the data-region boundary implied by
+//      the slot offsets and record lengths.
+//  11. next-page field — u32 forming the known page chain.
+//  12. delete strategy — byte diff of the victim's page across the delete
+//      capture, classified by which structure changed (Figure 1).
+//  13. index entry framing + pointer format — entries on index pages end
+//      with the known key; the pointer bytes are decoded under each
+//      candidate format and verified against the records they reference.
+#ifndef DBFA_CORE_PARAMETER_COLLECTOR_H_
+#define DBFA_CORE_PARAMETER_COLLECTOR_H_
+
+#include <string>
+
+#include "core/blackbox.h"
+#include "core/config_io.h"
+
+namespace dbfa {
+
+class ParameterCollector {
+ public:
+  struct Options {
+    /// Rows loaded into the primary probe table. Must be large enough to
+    /// span several pages for the biggest page size probed (16-32 KiB).
+    int probe_rows_a = 1200;
+    int probe_rows_b = 400;
+    /// Index of the row deleted by the delete probe.
+    int delete_victim = 37;
+  };
+
+  ParameterCollector() : options_(Options()) {}
+  explicit ParameterCollector(Options options) : options_(options) {}
+
+  /// Runs the full probe workload and inference. The DBMS should be a
+  /// fresh instance (the collector creates tables CarvProbeA/CarvProbeB
+  /// and index carv_probe_idx, and leaves them behind).
+  Result<CarverConfig> Collect(BlackBoxDbms* dbms) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_CORE_PARAMETER_COLLECTOR_H_

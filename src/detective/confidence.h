@@ -1,0 +1,44 @@
+// Detection-confidence ratings (Section III-D, future work — built): "for
+// each detection type, we will compute a confidence rating based on a
+// variety of environment variables (e.g., buffer cache size, volume of
+// operations, and DBMS storage engine)."
+//
+// The rating answers: *how complete should we believe the unattributed-
+// modification analysis to be?* It is a heuristic composed of signals
+// recoverable from the carve and the log alone:
+//   * residue ratio — carved deleted records vs. logged mutation
+//     statements: far fewer carved than logged implies evidence has been
+//     overwritten (aggressive page reuse / high churn), so *absence* of
+//     findings is weak;
+//   * defragmentation — VACUUM in the log destroys residue wholesale;
+//   * corruption — pages failing checksums may hide artifacts;
+//   * churn pressure — mutation statements per data page (the paper's
+//     "volume of operations"): high churn shortens evidence lifetime.
+#ifndef DBFA_DETECTIVE_CONFIDENCE_H_
+#define DBFA_DETECTIVE_CONFIDENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/artifacts.h"
+#include "engine/audit_log.h"
+
+namespace dbfa {
+
+struct ConfidenceReport {
+  /// 0 (storage tells us nothing) .. 1 (residue fully intact).
+  double score = 1.0;
+  /// Human-readable factors with their multipliers.
+  std::vector<std::string> factors;
+
+  std::string ToString() const;
+};
+
+/// Rates the completeness of deleted-record evidence in `disk` relative to
+/// the activity `log` records.
+ConfidenceReport EstimateDetectionConfidence(const CarveResult& disk,
+                                             const AuditLog& log);
+
+}  // namespace dbfa
+
+#endif  // DBFA_DETECTIVE_CONFIDENCE_H_

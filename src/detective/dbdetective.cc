@@ -1,0 +1,264 @@
+#include "detective/dbdetective.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace dbfa {
+namespace {
+
+/// Logged statements bucketed per table.
+struct TableLog {
+  std::vector<const sql::DeleteStmt*> deletes;
+  std::vector<const sql::UpdateStmt*> updates;
+  std::vector<const sql::InsertStmt*> inserts;
+  bool dropped = false;
+  bool mentioned = false;  // any logged statement touches the table
+};
+
+std::string TableKeyOf(const std::string& name) { return ToLower(name); }
+
+}  // namespace
+
+std::string UnattributedModification::ToString() const {
+  return StrFormat("[%s] %s %s at page %u slot %u — %s",
+                   kind == Kind::kDelete ? "unattributed delete"
+                                         : "unattributed insert",
+                   table.c_str(), RecordToString(values).c_str(), page_id,
+                   slot, reason.c_str());
+}
+
+std::string UnloggedAccess::ToString() const {
+  return StrFormat(
+      "[unlogged read] %s: %s pattern (%zu data pages, %zu index pages, "
+      "longest run %zu) with no logged statement touching the table",
+      table.c_str(),
+      pattern == Pattern::kFullScan ? "full-scan" : "index-scan",
+      cached_data_pages, cached_index_pages, longest_run);
+}
+
+std::string DetectiveReport::ToString() const {
+  std::string out = StrFormat(
+      "DBDetective report: %zu unattributed modifications, %zu unlogged "
+      "reads (checked %zu deleted / %zu active records)\n",
+      modifications.size(), reads.size(), deleted_records_checked,
+      active_records_checked);
+  for (const auto& m : modifications) {
+    out += "  " + m.ToString() + "\n";
+  }
+  for (const auto& r : reads) {
+    out += "  " + r.ToString() + "\n";
+  }
+  return out;
+}
+
+Result<std::vector<UnattributedModification>>
+DbDetective::FindUnattributedModifications(size_t* deleted_checked,
+                                           size_t* active_checked) const {
+  // Parse the log once; keep statement storage alive alongside pointers.
+  std::vector<sql::Statement> statements;
+  statements.reserve(log_->entries().size());
+  std::map<std::string, TableLog> per_table;
+  for (const AuditEntry& entry : log_->entries()) {
+    auto stmt = sql::ParseStatement(entry.sql);
+    if (!stmt.ok()) continue;  // unparseable entries cannot attribute
+    statements.push_back(std::move(stmt).value());
+  }
+  for (const sql::Statement& stmt : statements) {
+    if (const auto* del = std::get_if<sql::DeleteStmt>(&stmt)) {
+      per_table[TableKeyOf(del->table)].deletes.push_back(del);
+      per_table[TableKeyOf(del->table)].mentioned = true;
+    } else if (const auto* up = std::get_if<sql::UpdateStmt>(&stmt)) {
+      per_table[TableKeyOf(up->table)].updates.push_back(up);
+      per_table[TableKeyOf(up->table)].mentioned = true;
+    } else if (const auto* ins = std::get_if<sql::InsertStmt>(&stmt)) {
+      per_table[TableKeyOf(ins->table)].inserts.push_back(ins);
+      per_table[TableKeyOf(ins->table)].mentioned = true;
+    } else if (const auto* drop = std::get_if<sql::DropTableStmt>(&stmt)) {
+      per_table[TableKeyOf(drop->table)].dropped = true;
+      per_table[TableKeyOf(drop->table)].mentioned = true;
+    }
+  }
+
+  std::vector<UnattributedModification> out;
+  size_t deleted_count = 0;
+  size_t active_count = 0;
+  for (const CarvedRecord& r : disk_->records) {
+    auto schema_it = disk_->schemas.find(r.object_id);
+    if (schema_it == disk_->schemas.end()) continue;
+    const TableSchema& schema = schema_it->second;
+    if (!r.typed || r.values.size() != schema.columns.size()) continue;
+    std::vector<std::string> columns;
+    for (const Column& c : schema.columns) columns.push_back(c.name);
+    sql::RecordBinding binding(columns, r.values, schema.name);
+    const TableLog& tlog = per_table[TableKeyOf(schema.name)];
+
+    if (r.status == RowStatus::kDeleted) {
+      ++deleted_count;
+      bool attributed = tlog.dropped;
+      for (const sql::DeleteStmt* del : tlog.deletes) {
+        if (attributed) break;
+        if (del->where == nullptr) {
+          attributed = true;
+          break;
+        }
+        auto match = sql::EvalPredicate(*del->where, binding);
+        if (match.ok() && *match) attributed = true;
+      }
+      // The pre-image of a logged UPDATE is also a legitimate deleted
+      // record: its values satisfy the UPDATE's predicate.
+      for (const sql::UpdateStmt* up : tlog.updates) {
+        if (attributed) break;
+        if (up->where == nullptr) {
+          attributed = true;
+          break;
+        }
+        auto match = sql::EvalPredicate(*up->where, binding);
+        if (match.ok() && *match) attributed = true;
+      }
+      if (!attributed) {
+        out.push_back({UnattributedModification::Kind::kDelete, schema.name,
+                       r.values, r.page_id, r.slot,
+                       "no logged DELETE/UPDATE predicate matches this "
+                       "deleted record"});
+      }
+    } else {
+      ++active_count;
+      bool attributed = false;
+      for (const sql::InsertStmt* ins : tlog.inserts) {
+        if (attributed) break;
+        for (const Record& row : ins->rows) {
+          if (CompareRecords(row, r.values) == 0) {
+            attributed = true;
+            break;
+          }
+        }
+      }
+      // The post-image of a logged UPDATE: all SET values must be present.
+      for (const sql::UpdateStmt* up : tlog.updates) {
+        if (attributed) break;
+        bool consistent = !up->assignments.empty();
+        for (const auto& [col, value] : up->assignments) {
+          int ci = schema.ColumnIndex(col);
+          if (ci < 0 || !(r.values[ci] == value)) {
+            consistent = false;
+            break;
+          }
+        }
+        if (consistent) attributed = true;
+      }
+      if (!attributed) {
+        out.push_back({UnattributedModification::Kind::kInsert, schema.name,
+                       r.values, r.page_id, r.slot,
+                       "no logged INSERT/UPDATE produces this record"});
+      }
+    }
+  }
+  if (deleted_checked != nullptr) *deleted_checked = deleted_count;
+  if (active_checked != nullptr) *active_checked = active_count;
+  return out;
+}
+
+Result<std::vector<UnloggedAccess>> DbDetective::FindUnloggedReads() const {
+  std::vector<UnloggedAccess> out;
+  if (ram_ == nullptr) return out;
+
+  // Tables a logged statement touches (any statement kind).
+  std::set<std::string> mentioned;
+  for (const AuditEntry& entry : log_->entries()) {
+    auto stmt = sql::ParseStatement(entry.sql);
+    if (!stmt.ok()) continue;
+    if (const auto* sel = std::get_if<sql::SelectStmt>(&*stmt)) {
+      mentioned.insert(TableKeyOf(sel->from.table));
+      for (const sql::JoinClause& j : sel->joins) {
+        mentioned.insert(TableKeyOf(j.table.table));
+      }
+    } else if (const auto* del = std::get_if<sql::DeleteStmt>(&*stmt)) {
+      mentioned.insert(TableKeyOf(del->table));
+    } else if (const auto* up = std::get_if<sql::UpdateStmt>(&*stmt)) {
+      mentioned.insert(TableKeyOf(up->table));
+    } else if (const auto* ins = std::get_if<sql::InsertStmt>(&*stmt)) {
+      mentioned.insert(TableKeyOf(ins->table));
+    } else if (const auto* ct = std::get_if<sql::CreateTableStmt>(&*stmt)) {
+      mentioned.insert(TableKeyOf(ct->schema.name));
+    } else if (const auto* ci = std::get_if<sql::CreateIndexStmt>(&*stmt)) {
+      mentioned.insert(TableKeyOf(ci->table));
+    } else if (const auto* vac = std::get_if<sql::VacuumStmt>(&*stmt)) {
+      mentioned.insert(TableKeyOf(vac->table));
+    } else if (const auto* drop = std::get_if<sql::DropTableStmt>(&*stmt)) {
+      mentioned.insert(TableKeyOf(drop->table));
+    }
+  }
+
+  // Cached pages per table object (from the RAM carve) and index-page
+  // counts attributed to the owning table via carved index metadata.
+  std::map<uint32_t, std::set<uint32_t>> cached_data;   // table obj -> pages
+  std::map<uint32_t, size_t> cached_index;              // table obj -> count
+  for (const CarvedPage& p : ram_->pages) {
+    if (p.type == PageType::kData) {
+      cached_data[p.object_id].insert(p.page_id);
+    } else if (p.type == PageType::kIndexLeaf ||
+               p.type == PageType::kIndexInternal) {
+      auto meta = disk_->indexes.find(p.object_id);
+      if (meta != disk_->indexes.end()) {
+        ++cached_index[meta->second.table_object_id];
+      }
+    }
+  }
+  // Total data pages per object on disk (for scan-coverage ratios).
+  std::map<uint32_t, size_t> disk_pages;
+  for (const CarvedPage& p : disk_->pages) {
+    if (p.type == PageType::kData) ++disk_pages[p.object_id];
+  }
+
+  for (const auto& [object_id, schema] : disk_->schemas) {
+    if (disk_->dropped_objects.count(object_id) != 0) continue;
+    auto data_it = cached_data.find(object_id);
+    size_t data_count =
+        data_it == cached_data.end() ? 0 : data_it->second.size();
+    size_t index_count = cached_index.count(object_id) != 0
+                             ? cached_index[object_id]
+                             : 0;
+    if (data_count == 0 && index_count == 0) continue;
+    if (mentioned.count(TableKeyOf(schema.name)) != 0) continue;
+
+    // Classify the caching pattern.
+    size_t longest_run = 0;
+    if (data_it != cached_data.end()) {
+      size_t run = 0;
+      uint32_t prev = 0;
+      for (uint32_t page_id : data_it->second) {  // set: ascending
+        run = (prev != 0 && page_id == prev + 1) ? run + 1 : 1;
+        longest_run = std::max(longest_run, run);
+        prev = page_id;
+      }
+    }
+    size_t total = disk_pages.count(object_id) != 0 ? disk_pages[object_id]
+                                                    : data_count;
+    UnloggedAccess access;
+    access.table = schema.name;
+    access.cached_data_pages = data_count;
+    access.cached_index_pages = index_count;
+    access.longest_run = longest_run;
+    bool full_scan = total > 0 && longest_run * 10 >= total * 6;
+    access.pattern = full_scan && index_count == 0
+                         ? UnloggedAccess::Pattern::kFullScan
+                         : UnloggedAccess::Pattern::kIndexScan;
+    out.push_back(std::move(access));
+  }
+  return out;
+}
+
+Result<DetectiveReport> DbDetective::Analyze() const {
+  DetectiveReport report;
+  DBFA_ASSIGN_OR_RETURN(
+      report.modifications,
+      FindUnattributedModifications(&report.deleted_records_checked,
+                                    &report.active_records_checked));
+  DBFA_ASSIGN_OR_RETURN(report.reads, FindUnloggedReads());
+  return report;
+}
+
+}  // namespace dbfa

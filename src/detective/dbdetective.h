@@ -1,0 +1,90 @@
+// DBDetective (Section III-A): detect database activity missing from the
+// audit log by cross-checking carved storage artifacts against the log.
+//
+// Modifications: every carved deleted record must be attributable to a
+// logged DELETE/UPDATE/DROP whose predicate it satisfies (Figure 4's
+// example: deleted (4,'Thomas','Austin') matches neither
+// "City = 'Chicago'" nor "Name LIKE 'Chris%'" and is flagged); every
+// carved active record must be attributable to a logged INSERT (or the
+// result of a logged UPDATE).
+//
+// Reads: the buffer cache's content exhibits repeatable patterns — a full
+// scan leaves a long run of consecutive heap pages, an index scan leaves
+// index pages plus scattered heap pages. Cached patterns for tables no
+// logged statement touches indicate unlogged SELECTs.
+#ifndef DBFA_DETECTIVE_DBDETECTIVE_H_
+#define DBFA_DETECTIVE_DBDETECTIVE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/artifacts.h"
+#include "engine/audit_log.h"
+#include "sql/statement.h"
+
+namespace dbfa {
+
+/// A storage artifact no log entry explains.
+struct UnattributedModification {
+  enum class Kind { kDelete, kInsert };
+  Kind kind = Kind::kDelete;
+  std::string table;
+  Record values;
+  uint32_t page_id = 0;
+  uint16_t slot = 0;
+  std::string reason;
+
+  std::string ToString() const;
+};
+
+/// A cached access pattern no logged statement explains.
+struct UnloggedAccess {
+  std::string table;
+  enum class Pattern { kFullScan, kIndexScan } pattern = Pattern::kFullScan;
+  size_t cached_data_pages = 0;
+  size_t cached_index_pages = 0;
+  size_t longest_run = 0;  // longest consecutive page-id run
+
+  std::string ToString() const;
+};
+
+struct DetectiveReport {
+  std::vector<UnattributedModification> modifications;
+  std::vector<UnloggedAccess> reads;
+  /// Statistics for precision/recall accounting.
+  size_t deleted_records_checked = 0;
+  size_t active_records_checked = 0;
+
+  bool Clean() const { return modifications.empty() && reads.empty(); }
+  std::string ToString() const;
+};
+
+class DbDetective {
+ public:
+  /// `disk` is the carve of the storage image; `log` the recovered audit
+  /// log; `ram` (optional) the carve of a memory snapshot for read
+  /// detection.
+  DbDetective(const CarveResult* disk, const AuditLog* log,
+              const CarveResult* ram = nullptr)
+      : disk_(disk), log_(log), ram_(ram) {}
+
+  Result<DetectiveReport> Analyze() const;
+
+  /// Modification analysis only (Figure 4).
+  Result<std::vector<UnattributedModification>> FindUnattributedModifications(
+      size_t* deleted_checked = nullptr,
+      size_t* active_checked = nullptr) const;
+
+  /// Read analysis only (requires a RAM carve).
+  Result<std::vector<UnloggedAccess>> FindUnloggedReads() const;
+
+ private:
+  const CarveResult* disk_;
+  const AuditLog* log_;
+  const CarveResult* ram_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_DETECTIVE_DBDETECTIVE_H_

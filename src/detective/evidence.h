@@ -1,0 +1,63 @@
+// Reproducible evidence packages (Section III-D, future work — built):
+// "We will develop algorithms to collect the minimal subset of storage
+// artifacts needed to reproduce our results. These collected storage
+// artifacts must be sufficient to verify the security breach independent
+// of our analysis. For example, such functionality is needed to present
+// evidence in court."
+//
+// An EvidencePackage bundles: the minimal set of pages substantiating a
+// DBDetective report (the pages holding each flagged record, plus every
+// system-catalog page so schemas re-derive from the package alone), the
+// carver configuration, and the claimed findings. Verify() re-carves the
+// package from scratch and re-runs the detection against the audit log —
+// succeeding only if every claimed finding reproduces independently.
+#ifndef DBFA_DETECTIVE_EVIDENCE_H_
+#define DBFA_DETECTIVE_EVIDENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/carver.h"
+#include "detective/dbdetective.h"
+
+namespace dbfa {
+
+struct EvidencePackage {
+  /// Carver configuration, serialized (the package is self-describing).
+  std::string config_text;
+  /// The minimal page subset, concatenated (each page carvable in place).
+  Bytes image;
+  /// One line per included page: "object_id page_id original_offset".
+  std::vector<std::string> manifest;
+  /// The claimed findings, rendered.
+  std::vector<std::string> claimed;
+
+  /// Writes evidence.img / manifest.txt / carver.conf / findings.txt.
+  Status SaveTo(const std::string& dir) const;
+  static Result<EvidencePackage> LoadFrom(const std::string& dir);
+};
+
+class EvidenceCollector {
+ public:
+  explicit EvidenceCollector(CarverConfig config)
+      : config_(std::move(config)) {}
+
+  /// Collects the minimal page subset for `findings` out of `full_image`
+  /// (the image `carve` was produced from).
+  Result<EvidencePackage> Collect(
+      ByteView full_image, const CarveResult& carve,
+      const std::vector<UnattributedModification>& findings) const;
+
+  /// Independent verification: re-carves the package image with the
+  /// embedded config and re-runs modification detection against `log`.
+  /// Returns an error describing the first claimed finding that does not
+  /// reproduce; OK when all do.
+  static Status Verify(const EvidencePackage& package, const AuditLog& log);
+
+ private:
+  CarverConfig config_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_DETECTIVE_EVIDENCE_H_

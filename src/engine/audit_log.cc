@@ -1,0 +1,84 @@
+#include "engine/audit_log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace dbfa {
+
+bool AuditLog::Append(int64_t timestamp, std::string sql) {
+  if (!enabled_) return false;
+  AuditEntry entry;
+  entry.seq = next_seq_++;
+  entry.timestamp = timestamp;
+  entry.sql = std::move(sql);
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+AuditLog AuditLog::TailAfter(uint64_t seq) const {
+  AuditLog tail;
+  for (const AuditEntry& e : entries_) {
+    if (e.seq > seq) tail.entries_.push_back(e);
+  }
+  tail.next_seq_ = next_seq_;
+  return tail;
+}
+
+std::string AuditLog::ToText() const {
+  std::string out;
+  for (const AuditEntry& e : entries_) {
+    out += StrFormat("%llu|%lld|", static_cast<unsigned long long>(e.seq),
+                     static_cast<long long>(e.timestamp));
+    out += e.sql;
+    out += "\n";
+  }
+  return out;
+}
+
+Result<AuditLog> AuditLog::FromText(const std::string& text) {
+  AuditLog log;
+  for (const std::string& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    size_t p1 = line.find('|');
+    size_t p2 = p1 == std::string::npos ? std::string::npos
+                                        : line.find('|', p1 + 1);
+    if (p2 == std::string::npos) {
+      return Status::Corruption("bad audit log line: " + line);
+    }
+    AuditEntry e;
+    e.seq = std::strtoull(line.substr(0, p1).c_str(), nullptr, 10);
+    e.timestamp = std::strtoll(line.substr(p1 + 1, p2 - p1 - 1).c_str(),
+                               nullptr, 10);
+    e.sql = line.substr(p2 + 1);
+    log.next_seq_ = e.seq + 1;
+    log.entries_.push_back(std::move(e));
+  }
+  return log;
+}
+
+Status AuditLog::SaveTo(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  std::string text = ToText();
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+Result<AuditLog> AuditLog::LoadFrom(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return FromText(text);
+}
+
+}  // namespace dbfa

@@ -1,0 +1,57 @@
+// The DBMS audit log: the evidence source DBDetective cross-checks against
+// carved storage. Logging can be disabled and re-enabled — the privileged-
+// user attack of Section III-A — and the log's timestamps come from the
+// (tamperable) server clock, which is what Section III-C exploits.
+#ifndef DBFA_ENGINE_AUDIT_LOG_H_
+#define DBFA_ENGINE_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbfa {
+
+struct AuditEntry {
+  uint64_t seq = 0;       // position in the log file
+  int64_t timestamp = 0;  // server-clock seconds
+  std::string sql;        // statement text as executed
+};
+
+class AuditLog {
+ public:
+  AuditLog() = default;
+
+  bool enabled() const { return enabled_; }
+  /// Privileged users can legitimately disable logging (e.g. bulk loads) —
+  /// and maliciously hide activity. Nothing is recorded while disabled.
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+
+  /// Appends an entry if logging is enabled. Returns true when recorded.
+  bool Append(int64_t timestamp, std::string sql);
+
+  const std::vector<AuditEntry>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+  /// Entries with seq strictly greater than `seq` — the log window an
+  /// investigator compares against a cache snapshot taken after that
+  /// point (cached pages predating the window are stale, not evidence).
+  AuditLog TailAfter(uint64_t seq) const;
+
+  /// "seq|timestamp|sql" lines.
+  std::string ToText() const;
+  static Result<AuditLog> FromText(const std::string& text);
+
+  Status SaveTo(const std::string& path) const;
+  static Result<AuditLog> LoadFrom(const std::string& path);
+
+ private:
+  bool enabled_ = true;
+  uint64_t next_seq_ = 1;
+  std::vector<AuditEntry> entries_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_ENGINE_AUDIT_LOG_H_

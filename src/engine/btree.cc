@@ -1,0 +1,408 @@
+#include "engine/btree.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dbfa {
+namespace {
+
+/// Compares an entry's key vector to a target. Empty entry keys are the
+/// internal-node sentinel and sort below everything. When `leading_only`,
+/// only the first component participates (range scans on the leading
+/// column).
+int CompareKeys(const std::vector<Value>& entry_keys,
+                const std::vector<Value>& target, bool leading_only) {
+  if (entry_keys.empty()) return -1;
+  if (leading_only) {
+    if (target.empty()) return 1;
+    return Value::Compare(entry_keys[0], target[0]);
+  }
+  return CompareRecords(entry_keys, target);
+}
+
+}  // namespace
+
+BTree::BTree(Pager* pager, uint32_t object_id, std::string name,
+             std::vector<int> key_columns)
+    : pager_(pager),
+      object_id_(object_id),
+      name_(std::move(name)),
+      key_columns_(std::move(key_columns)) {}
+
+Status BTree::Create() {
+  DBFA_ASSIGN_OR_RETURN(auto page,
+                        pager_->NewPage(object_id_, PageType::kIndexLeaf));
+  root_ = page.first;
+  return Status::Ok();
+}
+
+std::vector<Value> BTree::ExtractKeys(const Record& record) const {
+  std::vector<Value> keys;
+  keys.reserve(key_columns_.size());
+  for (int col : key_columns_) {
+    keys.push_back(col >= 0 && static_cast<size_t>(col) < record.size()
+                       ? record[col]
+                       : Value::Null());
+  }
+  return keys;
+}
+
+bool BTree::AllNull(const std::vector<Value>& keys) {
+  for (const Value& k : keys) {
+    if (!k.is_null()) return false;
+  }
+  return true;
+}
+
+Result<std::vector<ParsedIndexEntry>> BTree::ReadEntries(
+    const uint8_t* page) {
+  const PageFormatter& fmt = pager_->fmt();
+  ByteView view(page, fmt.page_size());
+  std::vector<ParsedIndexEntry> entries;
+  uint16_t count = fmt.RecordCount(page);
+  entries.reserve(count);
+  for (uint16_t s = 0; s < count; ++s) {
+    auto slot = fmt.GetSlot(page, s);
+    if (!slot.has_value()) {
+      return Status::Corruption("index slot missing");
+    }
+    DBFA_ASSIGN_OR_RETURN(ParsedIndexEntry entry,
+                          fmt.ParseIndexEntryAt(view, slot->offset));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Status BTree::Insert(const std::vector<Value>& keys, RowPointer ptr) {
+  if (root_ == 0) return Status::FailedPrecondition("index not created");
+  if (AllNull(keys)) return Status::Ok();  // NULL keys are not indexed
+  Bytes entry = pager_->fmt().EncodeLeafEntry(keys, ptr);
+  DBFA_ASSIGN_OR_RETURN(auto split, InsertRec(root_, keys, std::move(entry)));
+  if (!split.has_value()) return Status::Ok();
+  // Root split: new internal root with sentinel -> old root.
+  DBFA_ASSIGN_OR_RETURN(auto page,
+                        pager_->NewPage(object_id_, PageType::kIndexInternal));
+  const PageFormatter& fmt = pager_->fmt();
+  PageHandle& h = page.second;
+  Bytes left_entry = fmt.EncodeInternalEntry({}, root_);
+  Bytes right_entry =
+      fmt.EncodeInternalEntry(split->separator, split->right_page);
+  auto s0 = fmt.InsertRecordBytes(h.data(), left_entry, 0);
+  auto s1 = fmt.InsertRecordBytes(h.data(), right_entry, 1);
+  if (!s0.ok() || !s1.ok()) {
+    return Status::Internal("root split entries do not fit an empty page");
+  }
+  pager_->CommitPage(&h);
+  root_ = page.first;
+  return Status::Ok();
+}
+
+Result<std::optional<BTree::SplitResult>> BTree::InsertRec(
+    uint32_t page_id, const std::vector<Value>& keys, Bytes entry) {
+  const PageFormatter& fmt = pager_->fmt();
+  DBFA_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(object_id_, page_id));
+  PageType type = fmt.TypeOf(h.data());
+
+  if (type == PageType::kIndexInternal) {
+    DBFA_ASSIGN_OR_RETURN(auto entries, ReadEntries(h.data()));
+    if (entries.empty()) {
+      return Status::Corruption("internal index node with no entries");
+    }
+    size_t pos = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (CompareKeys(entries[i].keys, keys, /*leading_only=*/false) <= 0) {
+        pos = i;
+      } else {
+        break;
+      }
+    }
+    uint32_t child = entries[pos].pointer.page_id;
+    DBFA_ASSIGN_OR_RETURN(auto child_split,
+                          InsertRec(child, keys, std::move(entry)));
+    if (!child_split.has_value()) return std::optional<SplitResult>();
+    Bytes new_entry = fmt.EncodeInternalEntry(child_split->separator,
+                                              child_split->right_page);
+    // Fall through to the shared node-insertion path below with the new
+    // internal entry at pos+1.
+    auto slot = fmt.InsertRecordBytes(h.data(), new_entry,
+                                      static_cast<int>(pos + 1));
+    if (slot.ok()) {
+      pager_->CommitPage(&h);
+      return std::optional<SplitResult>();
+    }
+    if (slot.status().code() != StatusCode::kOutOfRange) {
+      return slot.status();
+    }
+    // Split this internal node.
+    DBFA_ASSIGN_OR_RETURN(auto all, ReadEntries(h.data()));
+    std::vector<std::pair<std::vector<Value>, Bytes>> ordered;
+    ordered.reserve(all.size() + 1);
+    ByteView view(h.data(), fmt.page_size());
+    for (const auto& e : all) {
+      ordered.emplace_back(e.keys, view.Slice(e.offset, e.length).ToBytes());
+    }
+    ordered.insert(ordered.begin() + pos + 1,
+                   {child_split->separator, new_entry});
+    size_t m = ordered.size() / 2;
+    DBFA_ASSIGN_OR_RETURN(
+        auto right, pager_->NewPage(object_id_, PageType::kIndexInternal));
+    fmt.InitPage(h.data(), page_id, object_id_, PageType::kIndexInternal);
+    for (size_t i = 0; i < m; ++i) {
+      auto s = fmt.InsertRecordBytes(h.data(), ordered[i].second);
+      if (!s.ok()) return Status::Internal("internal split refill failed");
+    }
+    for (size_t i = m; i < ordered.size(); ++i) {
+      auto s = fmt.InsertRecordBytes(right.second.data(), ordered[i].second);
+      if (!s.ok()) return Status::Internal("internal split refill failed");
+    }
+    pager_->CommitPage(&h);
+    pager_->CommitPage(&right.second);
+    return std::optional<SplitResult>(
+        SplitResult{ordered[m].first, right.first});
+  }
+
+  if (type != PageType::kIndexLeaf) {
+    return Status::Corruption(
+        StrFormat("page %u is not an index page", page_id));
+  }
+
+  // Leaf: find the sorted position (after duplicates).
+  DBFA_ASSIGN_OR_RETURN(auto entries, ReadEntries(h.data()));
+  size_t pos = 0;
+  while (pos < entries.size() &&
+         CompareKeys(entries[pos].keys, keys, /*leading_only=*/false) <= 0) {
+    ++pos;
+  }
+  auto slot = fmt.InsertRecordBytes(h.data(), entry, static_cast<int>(pos));
+  if (slot.ok()) {
+    pager_->CommitPage(&h);
+    return std::optional<SplitResult>();
+  }
+  if (slot.status().code() != StatusCode::kOutOfRange) {
+    return slot.status();
+  }
+  // Split the leaf.
+  std::vector<std::pair<std::vector<Value>, Bytes>> ordered;
+  ordered.reserve(entries.size() + 1);
+  ByteView view(h.data(), fmt.page_size());
+  for (const auto& e : entries) {
+    ordered.emplace_back(e.keys, view.Slice(e.offset, e.length).ToBytes());
+  }
+  ordered.insert(ordered.begin() + pos, {keys, entry});
+  size_t m = ordered.size() / 2;
+  if (m == 0) m = 1;
+  uint32_t old_next = fmt.NextPage(h.data());
+  DBFA_ASSIGN_OR_RETURN(auto right,
+                        pager_->NewPage(object_id_, PageType::kIndexLeaf));
+  fmt.InitPage(h.data(), page_id, object_id_, PageType::kIndexLeaf);
+  for (size_t i = 0; i < m; ++i) {
+    auto s = fmt.InsertRecordBytes(h.data(), ordered[i].second);
+    if (!s.ok()) return Status::Internal("leaf split refill failed");
+  }
+  for (size_t i = m; i < ordered.size(); ++i) {
+    auto s = fmt.InsertRecordBytes(right.second.data(), ordered[i].second);
+    if (!s.ok()) return Status::Internal("leaf split refill failed");
+  }
+  fmt.SetNextPage(h.data(), right.first);
+  fmt.SetNextPage(right.second.data(), old_next);
+  pager_->CommitPage(&h);
+  pager_->CommitPage(&right.second);
+  return std::optional<SplitResult>(SplitResult{ordered[m].first, right.first});
+}
+
+Result<uint32_t> BTree::DescendToLeaf(const std::vector<Value>& keys,
+                                      bool leading_only) {
+  const PageFormatter& fmt = pager_->fmt();
+  uint32_t page_id = root_;
+  for (int depth = 0; depth < 64; ++depth) {
+    DBFA_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(object_id_, page_id));
+    PageType type = fmt.TypeOf(h.data());
+    if (type == PageType::kIndexLeaf) return page_id;
+    if (type != PageType::kIndexInternal) {
+      return Status::Corruption("non-index page inside index");
+    }
+    DBFA_ASSIGN_OR_RETURN(auto entries, ReadEntries(h.data()));
+    if (entries.empty()) {
+      return Status::Corruption("internal index node with no entries");
+    }
+    size_t pos = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (CompareKeys(entries[i].keys, keys, leading_only) < 0) {
+        pos = i;
+      } else {
+        break;
+      }
+    }
+    page_id = entries[pos].pointer.page_id;
+  }
+  return Status::Corruption("index deeper than 64 levels (cycle?)");
+}
+
+Result<std::vector<RowPointer>> BTree::SearchEqual(
+    const std::vector<Value>& keys) {
+  std::vector<RowPointer> out;
+  if (root_ == 0) return out;
+  if (AllNull(keys)) return out;
+  const PageFormatter& fmt = pager_->fmt();
+  DBFA_ASSIGN_OR_RETURN(uint32_t leaf, DescendToLeaf(keys, false));
+  while (leaf != 0) {
+    DBFA_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(object_id_, leaf));
+    DBFA_ASSIGN_OR_RETURN(auto entries, ReadEntries(h.data()));
+    for (const auto& e : entries) {
+      int c = CompareKeys(e.keys, keys, /*leading_only=*/false);
+      if (c == 0) out.push_back(e.pointer);
+      if (c > 0) return out;
+    }
+    leaf = fmt.NextPage(h.data());
+  }
+  return out;
+}
+
+Result<std::vector<BTree::Entry>> BTree::SearchRangeLeading(
+    const std::optional<Value>& lo, const std::optional<Value>& hi) {
+  std::vector<Entry> out;
+  if (root_ == 0) return out;
+  const PageFormatter& fmt = pager_->fmt();
+  uint32_t leaf;
+  if (lo.has_value()) {
+    DBFA_ASSIGN_OR_RETURN(leaf, DescendToLeaf({*lo}, /*leading_only=*/true));
+  } else {
+    DBFA_ASSIGN_OR_RETURN(leaf, DescendToLeaf({}, /*leading_only=*/true));
+  }
+  while (leaf != 0) {
+    DBFA_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(object_id_, leaf));
+    DBFA_ASSIGN_OR_RETURN(auto entries, ReadEntries(h.data()));
+    for (const auto& e : entries) {
+      if (e.keys.empty()) continue;
+      if (lo.has_value() && Value::Compare(e.keys[0], *lo) < 0) continue;
+      if (hi.has_value() && Value::Compare(e.keys[0], *hi) > 0) return out;
+      out.push_back(Entry{e.keys, e.pointer, leaf});
+    }
+    leaf = fmt.NextPage(h.data());
+  }
+  return out;
+}
+
+Status BTree::ScanLeafEntries(
+    const std::function<Status(const Entry&)>& fn) {
+  DBFA_ASSIGN_OR_RETURN(auto all, SearchRangeLeading(std::nullopt,
+                                                     std::nullopt));
+  for (const Entry& e : all) {
+    DBFA_RETURN_IF_ERROR(fn(e));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint32_t>> BTree::ReachablePages() {
+  std::vector<uint32_t> out;
+  if (root_ == 0) return out;
+  const PageFormatter& fmt = pager_->fmt();
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    uint32_t page_id = stack.back();
+    stack.pop_back();
+    out.push_back(page_id);
+    if (out.size() > 1'000'000) {
+      return Status::Corruption("index reachability explosion (cycle?)");
+    }
+    DBFA_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(object_id_, page_id));
+    if (fmt.TypeOf(h.data()) != PageType::kIndexInternal) continue;
+    DBFA_ASSIGN_OR_RETURN(auto entries, ReadEntries(h.data()));
+    for (const auto& e : entries) stack.push_back(e.pointer.page_id);
+  }
+  return out;
+}
+
+Status BTree::Rebuild(TableHeap* heap) {
+  // Gather live entries.
+  std::vector<std::pair<std::vector<Value>, RowPointer>> entries;
+  DBFA_RETURN_IF_ERROR(heap->Scan([&](RowPointer ptr, const Record& rec) {
+    std::vector<Value> keys = ExtractKeys(rec);
+    if (!AllNull(keys)) entries.emplace_back(std::move(keys), ptr);
+    return Status::Ok();
+  }));
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const auto& a, const auto& b) {
+                     return CompareRecords(a.first, b.first) < 0;
+                   });
+
+  const PageFormatter& fmt = pager_->fmt();
+  // Build the new leaf level (old pages are simply orphaned).
+  struct LevelNode {
+    std::vector<Value> first_keys;
+    uint32_t page_id;
+  };
+  std::vector<LevelNode> level;
+  {
+    DBFA_ASSIGN_OR_RETURN(auto page,
+                          pager_->NewPage(object_id_, PageType::kIndexLeaf));
+    uint32_t current = page.first;
+    PageHandle handle = std::move(page.second);
+    bool first_in_node = true;
+    level.push_back({{}, current});
+    for (const auto& [keys, ptr] : entries) {
+      Bytes encoded = fmt.EncodeLeafEntry(keys, ptr);
+      auto slot = fmt.InsertRecordBytes(handle.data(), encoded);
+      if (!slot.ok()) {
+        if (slot.status().code() != StatusCode::kOutOfRange) {
+          return slot.status();
+        }
+        pager_->CommitPage(&handle);
+        DBFA_ASSIGN_OR_RETURN(
+            auto next_page, pager_->NewPage(object_id_, PageType::kIndexLeaf));
+        fmt.SetNextPage(handle.data(), next_page.first);
+        pager_->CommitPage(&handle);
+        handle = std::move(next_page.second);
+        current = next_page.first;
+        level.push_back({keys, current});
+        first_in_node = true;
+        auto retry = fmt.InsertRecordBytes(handle.data(), encoded);
+        if (!retry.ok()) {
+          return Status::Internal("bulk-load entry does not fit empty leaf");
+        }
+      }
+      if (first_in_node) {
+        level.back().first_keys = keys;
+        first_in_node = false;
+      }
+    }
+    pager_->CommitPage(&handle);
+  }
+
+  // Build internal levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<LevelNode> parents;
+    size_t i = 0;
+    while (i < level.size()) {
+      DBFA_ASSIGN_OR_RETURN(
+          auto page, pager_->NewPage(object_id_, PageType::kIndexInternal));
+      PageHandle handle = std::move(page.second);
+      parents.push_back({level[i].first_keys, page.first});
+      bool first_child = true;
+      while (i < level.size()) {
+        std::vector<Value> sep = first_child ? std::vector<Value>{}
+                                             : level[i].first_keys;
+        Bytes encoded = fmt.EncodeInternalEntry(sep, level[i].page_id);
+        auto slot = fmt.InsertRecordBytes(handle.data(), encoded);
+        if (!slot.ok()) {
+          if (slot.status().code() != StatusCode::kOutOfRange) {
+            return slot.status();
+          }
+          break;  // node full; start the next parent
+        }
+        first_child = false;
+        ++i;
+      }
+      if (first_child) {
+        return Status::Internal("internal bulk-load node stayed empty");
+      }
+      pager_->CommitPage(&handle);
+    }
+    level = std::move(parents);
+  }
+  root_ = level.empty() ? 0 : level[0].page_id;
+  return Status::Ok();
+}
+
+}  // namespace dbfa

@@ -1,0 +1,100 @@
+// Disk-format B-Tree index over a table heap.
+//
+// Forensically important behaviours (Section II-A):
+//  * DELETEs never touch the index — entries pointing at deleted records
+//    ("deleted values") persist until an explicit Rebuild.
+//  * UPDATEs insert a new entry; the old one persists likewise.
+//  * Entries whose key columns are all NULL are skipped (the paper's
+//    steganography abuses exactly this to keep a hidden record out of the
+//    primary-key index).
+//  * Rebuild writes a fresh page chain in the same object file; the old
+//    pages become unreachable but their bytes remain carvable.
+#ifndef DBFA_ENGINE_BTREE_H_
+#define DBFA_ENGINE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/pager.h"
+#include "engine/table_heap.h"
+
+namespace dbfa {
+
+class BTree {
+ public:
+  /// Wraps object `object_id`. `key_columns` are table-schema column
+  /// indexes forming the (possibly composite) key.
+  BTree(Pager* pager, uint32_t object_id, std::string name,
+        std::vector<int> key_columns);
+
+  /// Allocates the root leaf for a fresh index.
+  Status Create();
+
+  const std::string& name() const { return name_; }
+  uint32_t object_id() const { return object_id_; }
+  uint32_t root() const { return root_; }
+  void set_root(uint32_t root) { root_ = root; }
+  const std::vector<int>& key_columns() const { return key_columns_; }
+
+  /// Extracts this index's key values from a table record.
+  std::vector<Value> ExtractKeys(const Record& record) const;
+
+  /// True when every key component is NULL (entry would be skipped).
+  static bool AllNull(const std::vector<Value>& keys);
+
+  /// Inserts an entry (no-op for all-NULL keys). May change root().
+  Status Insert(const std::vector<Value>& keys, RowPointer ptr);
+
+  /// All pointers whose full key equals `keys` (stale entries included).
+  Result<std::vector<RowPointer>> SearchEqual(const std::vector<Value>& keys);
+
+  struct Entry {
+    std::vector<Value> keys;
+    RowPointer pointer;
+    uint32_t leaf_page = 0;
+  };
+
+  /// Entries whose *leading* key component lies in [lo, hi]; either bound
+  /// optional. Results are in key order.
+  Result<std::vector<Entry>> SearchRangeLeading(
+      const std::optional<Value>& lo, const std::optional<Value>& hi);
+
+  /// Visits every leaf entry left-to-right (stale entries included).
+  Status ScanLeafEntries(const std::function<Status(const Entry&)>& fn);
+
+  /// Pages this tree currently reaches from the root (for cache analysis
+  /// and reachability checks).
+  Result<std::vector<uint32_t>> ReachablePages();
+
+  /// Rebuilds from the heap's active records (bulk load, sorted). Old pages
+  /// are orphaned in place. Root changes.
+  Status Rebuild(TableHeap* heap);
+
+ private:
+  struct SplitResult {
+    std::vector<Value> separator;
+    uint32_t right_page = 0;
+  };
+
+  Result<std::optional<SplitResult>> InsertRec(uint32_t page_id,
+                                               const std::vector<Value>& keys,
+                                               Bytes entry);
+  /// Finds the leftmost leaf that can contain `keys` (strict-< descent).
+  Result<uint32_t> DescendToLeaf(const std::vector<Value>& keys,
+                                 bool leading_only);
+
+  Result<std::vector<ParsedIndexEntry>> ReadEntries(const uint8_t* page);
+
+  Pager* pager_;
+  uint32_t object_id_;
+  std::string name_;
+  std::vector<int> key_columns_;
+  uint32_t root_ = 0;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_ENGINE_BTREE_H_

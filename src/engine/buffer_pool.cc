@@ -1,0 +1,157 @@
+#include "engine/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dbfa {
+
+PageHandle::PageHandle(BufferPool* pool, size_t frame, uint8_t* data)
+    : pool_(pool), frame_(frame), data_(data) {}
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_), data_(other.data_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+void PageHandle::MarkDirty() {
+  assert(pool_ != nullptr);
+  pool_->frames_[frame_].dirty = true;
+}
+
+BufferPool::BufferPool(size_t capacity, uint32_t page_size,
+                       PageBacking* backing)
+    : page_size_(page_size), backing_(backing) {
+  frames_.resize(capacity == 0 ? 1 : capacity);
+  for (Frame& f : frames_) f.data.resize(page_size_, 0);
+}
+
+Result<PageHandle> BufferPool::Fetch(PageKey key) {
+  ++tick_;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Frame& f = frames_[it->second];
+    f.last_used = tick_;
+    ++f.pins;
+    ++stats_.hits;
+    return PageHandle(this, it->second, f.data.data());
+  }
+  ++stats_.misses;
+  DBFA_ASSIGN_OR_RETURN(size_t victim, PickVictim());
+  Frame& f = frames_[victim];
+  if (f.valid) {
+    if (f.dirty) {
+      DBFA_RETURN_IF_ERROR(backing_->WritePage(f.key, f.data.data()));
+      ++stats_.writebacks;
+    }
+    index_.erase(f.key);
+    ++stats_.evictions;
+  }
+  DBFA_RETURN_IF_ERROR(backing_->ReadPage(key, f.data.data()));
+  f.key = key;
+  f.valid = true;
+  f.dirty = false;
+  f.pins = 1;
+  f.last_used = tick_;
+  index_[key] = victim;
+  return PageHandle(this, victim, f.data.data());
+}
+
+Result<size_t> BufferPool::PickVictim() {
+  // Prefer an invalid frame; otherwise evict the LRU unpinned frame.
+  size_t best = SIZE_MAX;
+  uint64_t best_tick = UINT64_MAX;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (!f.valid) return i;
+    if (f.pins == 0 && f.last_used < best_tick) {
+      best = i;
+      best_tick = f.last_used;
+    }
+  }
+  if (best != SIZE_MAX) return best;
+  // Every frame is pinned: grow the pool rather than deadlock. Operations
+  // pin a handful of pages at most, so this only fires for tiny pools.
+  frames_.emplace_back();
+  frames_.back().data.resize(page_size_, 0);
+  return frames_.size() - 1;
+}
+
+void BufferPool::Unpin(size_t frame) {
+  Frame& f = frames_[frame];
+  assert(f.pins > 0);
+  --f.pins;
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.valid && f.dirty) {
+      DBFA_RETURN_IF_ERROR(backing_->WritePage(f.key, f.data.data()));
+      f.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::Clear() {
+  DBFA_RETURN_IF_ERROR(FlushAll());
+  for (Frame& f : frames_) {
+    f.valid = false;
+    f.pins = 0;
+    std::memset(f.data.data(), 0, f.data.size());
+  }
+  index_.clear();
+  return Status::Ok();
+}
+
+void BufferPool::Discard() {
+  for (Frame& f : frames_) {
+    f.valid = false;
+    f.dirty = false;
+    f.pins = 0;
+    std::memset(f.data.data(), 0, f.data.size());
+  }
+  index_.clear();
+}
+
+Bytes BufferPool::SnapshotRam() const {
+  Bytes out;
+  out.reserve(frames_.size() * page_size_);
+  for (const Frame& f : frames_) {
+    out.insert(out.end(), f.data.begin(), f.data.end());
+  }
+  return out;
+}
+
+std::vector<PageKey> BufferPool::CachedKeys() const {
+  std::vector<PageKey> keys;
+  for (const Frame& f : frames_) {
+    if (f.valid) keys.push_back(f.key);
+  }
+  return keys;
+}
+
+}  // namespace dbfa

@@ -1,0 +1,131 @@
+// LRU buffer pool. All engine page access flows through here so that the
+// pool's contents form a realistic RAM snapshot: full table scans sweep the
+// pool with consecutive heap pages, index scans leave index pages plus
+// scattered heap pages — exactly the caching patterns DBDetective
+// classifies (Section III-A), and the buffer-cache artifacts the carver
+// reconstructs from memory captures.
+#ifndef DBFA_ENGINE_BUFFER_POOL_H_
+#define DBFA_ENGINE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dbfa {
+
+/// Identity of a page across all objects of one database.
+struct PageKey {
+  uint32_t object_id = 0;
+  uint32_t page_id = 0;
+
+  bool operator==(const PageKey&) const = default;
+};
+
+struct PageKeyHash {
+  size_t operator()(const PageKey& k) const {
+    return (static_cast<size_t>(k.object_id) << 32) ^ k.page_id;
+  }
+};
+
+/// Backing store the pool reads/writes on miss/evict.
+class PageBacking {
+ public:
+  virtual ~PageBacking() = default;
+  virtual Status ReadPage(PageKey key, uint8_t* out) = 0;
+  virtual Status WritePage(PageKey key, const uint8_t* data) = 0;
+};
+
+class BufferPool;
+
+/// RAII pin on a frame. The pointed-to bytes stay valid (and un-evictable)
+/// for the handle's lifetime.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, size_t frame, uint8_t* data);
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  /// Must be called after mutating the page so it is written back on evict.
+  void MarkDirty();
+
+ private:
+  void Release();
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  uint8_t* data_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+  };
+
+  /// `capacity` frames of `page_size` bytes over `backing` (not owned; must
+  /// outlive the pool).
+  BufferPool(size_t capacity, uint32_t page_size, PageBacking* backing);
+
+  /// Pins the page into a frame (reading it from backing on a miss).
+  Result<PageHandle> Fetch(PageKey key);
+
+  /// Writes all dirty frames back. Pinned pages are flushed but stay cached.
+  Status FlushAll();
+
+  /// Drops every frame (flushing dirty ones) — models a cache restart.
+  Status Clear();
+
+  /// Drops every frame WITHOUT write-back. Recovery-only: used when the
+  /// backing store has just been replaced wholesale and cached frames are
+  /// stale by definition.
+  void Discard();
+
+  /// The RAM image: every frame's bytes in frame order (stale and invalid
+  /// frames included, as in a real memory capture).
+  Bytes SnapshotRam() const;
+
+  /// Keys of currently valid frames, in frame order.
+  std::vector<PageKey> CachedKeys() const;
+
+  const Stats& stats() const { return stats_; }
+  size_t capacity() const { return frames_.size(); }
+  uint32_t page_size() const { return page_size_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageKey key;
+    bool valid = false;
+    bool dirty = false;
+    uint32_t pins = 0;
+    uint64_t last_used = 0;
+    Bytes data;
+  };
+
+  void Unpin(size_t frame);
+  Result<size_t> PickVictim();
+
+  std::vector<Frame> frames_;
+  std::unordered_map<PageKey, size_t, PageKeyHash> index_;
+  uint32_t page_size_;
+  PageBacking* backing_;
+  uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_ENGINE_BUFFER_POOL_H_

@@ -1,0 +1,156 @@
+#include "engine/catalog.h"
+
+#include "common/strings.h"
+
+namespace dbfa {
+
+const TableSchema& CatalogSchema() {
+  static const TableSchema& schema = *new TableSchema{
+      "_catalog",
+      {{"entry_type", ColumnType::kVarchar, 8, false},
+       {"name", ColumnType::kVarchar, 64, false},
+       {"object_id", ColumnType::kInt, 0, false},
+       {"table_object_id", ColumnType::kInt, 0, false},
+       {"root_page", ColumnType::kInt, 0, false},
+       {"info", ColumnType::kVarchar, 2048, true}},
+      /*primary_key=*/{},
+      /*foreign_keys=*/{}};
+  return schema;
+}
+
+Catalog::Catalog(Pager* pager) : pager_(pager) {}
+
+std::string Catalog::Key(const std::string& name) const {
+  return ToLower(name);
+}
+
+Status Catalog::Initialize() {
+  if (!pager_->HasObject(kCatalogObjectId)) {
+    uint32_t id = pager_->CreateObject();
+    if (id != kCatalogObjectId) {
+      return Status::Internal("catalog must be the first object");
+    }
+  }
+  heap_ = std::make_unique<TableHeap>(pager_, kCatalogObjectId,
+                                      CatalogSchema(),
+                                      /*reuse_threshold=*/2.0);
+  return heap_->EnsureInitialized();
+}
+
+Status Catalog::WriteEntry(const std::string& entry_type,
+                           const std::string& name, uint32_t object_id,
+                           uint32_t table_object_id, uint32_t root_page,
+                           const std::string& info) {
+  Record record = {Value::Str(entry_type),
+                   Value::Str(name),
+                   Value::Int(object_id),
+                   Value::Int(table_object_id),
+                   Value::Int(root_page),
+                   Value::Str(info)};
+  return heap_->Insert(record, next_row_id_++).status();
+}
+
+Status Catalog::DeleteEntries(const std::string& entry_type,
+                              const std::string& name) {
+  std::vector<RowPointer> victims;
+  DBFA_RETURN_IF_ERROR(heap_->Scan([&](RowPointer ptr, const Record& rec) {
+    if (rec[0].as_string() == entry_type &&
+        EqualsIgnoreCase(rec[1].as_string(), name)) {
+      victims.push_back(ptr);
+    }
+    return Status::Ok();
+  }));
+  for (RowPointer ptr : victims) {
+    DBFA_RETURN_IF_ERROR(heap_->Delete(ptr));
+  }
+  return Status::Ok();
+}
+
+Status Catalog::AddTable(const TableSchema& schema, uint32_t object_id,
+                         uint32_t first_page) {
+  if (tables_.count(Key(schema.name)) != 0) {
+    return Status::AlreadyExists("table exists: " + schema.name);
+  }
+  DBFA_RETURN_IF_ERROR(WriteEntry(kCatalogTypeTable, schema.name, object_id,
+                                  object_id, first_page,
+                                  schema.Serialize()));
+  TableInfo info;
+  info.schema = schema;
+  info.object_id = object_id;
+  info.first_page = first_page;
+  tables_[Key(schema.name)] = std::move(info);
+  return Status::Ok();
+}
+
+Status Catalog::AddIndex(const std::string& table, const IndexInfo& index) {
+  auto it = tables_.find(Key(table));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + table);
+  }
+  for (const IndexInfo& existing : it->second.indexes) {
+    if (EqualsIgnoreCase(existing.name, index.name)) {
+      return Status::AlreadyExists("index exists: " + index.name);
+    }
+  }
+  DBFA_RETURN_IF_ERROR(WriteEntry(kCatalogTypeIndex, index.name,
+                                  index.object_id, it->second.object_id,
+                                  index.root_page,
+                                  Join(index.columns, ",")));
+  it->second.indexes.push_back(index);
+  return Status::Ok();
+}
+
+Status Catalog::DropTable(const std::string& table) {
+  auto it = tables_.find(Key(table));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + table);
+  }
+  DBFA_RETURN_IF_ERROR(DeleteEntries(kCatalogTypeTable,
+                                     it->second.schema.name));
+  for (const IndexInfo& index : it->second.indexes) {
+    DBFA_RETURN_IF_ERROR(DeleteEntries(kCatalogTypeIndex, index.name));
+  }
+  tables_.erase(it);
+  return Status::Ok();
+}
+
+Status Catalog::UpdateIndexRoot(const std::string& table,
+                                const std::string& index,
+                                uint32_t new_root) {
+  auto it = tables_.find(Key(table));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + table);
+  }
+  for (IndexInfo& info : it->second.indexes) {
+    if (!EqualsIgnoreCase(info.name, index)) continue;
+    DBFA_RETURN_IF_ERROR(DeleteEntries(kCatalogTypeIndex, info.name));
+    info.root_page = new_root;
+    return WriteEntry(kCatalogTypeIndex, info.name, info.object_id,
+                      it->second.object_id, new_root,
+                      Join(info.columns, ","));
+  }
+  return Status::NotFound("no such index: " + index);
+}
+
+void Catalog::RegisterLoadedTable(const TableSchema& schema,
+                                  uint32_t object_id, uint32_t first_page) {
+  TableInfo info;
+  info.schema = schema;
+  info.object_id = object_id;
+  info.first_page = first_page == 0 ? 1 : first_page;
+  tables_[Key(schema.name)] = std::move(info);
+}
+
+void Catalog::RegisterLoadedIndex(const std::string& table,
+                                  const IndexInfo& index) {
+  auto it = tables_.find(Key(table));
+  if (it == tables_.end()) return;
+  it->second.indexes.push_back(index);
+}
+
+const TableInfo* Catalog::Find(const std::string& table) const {
+  auto it = tables_.find(Key(table));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dbfa

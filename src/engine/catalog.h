@@ -1,0 +1,97 @@
+// System catalog: table and index metadata stored *in ordinary data pages*
+// (object id 1) so that the carver can reconstruct schemas from storage
+// alone, and so that DROP TABLE leaves a delete-marked catalog record — the
+// "deleted pages" evidence category of Section II-A.
+#ifndef DBFA_ENGINE_CATALOG_H_
+#define DBFA_ENGINE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/table_heap.h"
+
+namespace dbfa {
+
+/// Reserved object id of the catalog heap.
+inline constexpr uint32_t kCatalogObjectId = 1;
+
+/// Schema of the catalog table itself (compiled in; the bootstrap problem
+/// is resolved the same way real systems do).
+const TableSchema& CatalogSchema();
+
+/// Catalog entry kinds (entry_type column values).
+inline constexpr char kCatalogTypeTable[] = "TABLE";
+inline constexpr char kCatalogTypeIndex[] = "INDEX";
+
+struct IndexInfo {
+  std::string name;
+  uint32_t object_id = 0;
+  uint32_t root_page = 0;
+  std::vector<std::string> columns;
+};
+
+struct TableInfo {
+  TableSchema schema;
+  uint32_t object_id = 0;
+  uint32_t first_page = 0;
+  std::vector<IndexInfo> indexes;
+};
+
+class Catalog {
+ public:
+  /// Binds to the pager and creates/attaches the catalog heap.
+  explicit Catalog(Pager* pager);
+
+  Status Initialize();
+
+  /// Registers a table. Writes a catalog record and mirrors in memory.
+  Status AddTable(const TableSchema& schema, uint32_t object_id,
+                  uint32_t first_page);
+
+  /// Registers an index on an existing table.
+  Status AddIndex(const std::string& table, const IndexInfo& index);
+
+  /// Marks the table's (and its indexes') catalog records deleted. The
+  /// underlying pages are intentionally left untouched.
+  Status DropTable(const std::string& table);
+
+  /// Rewrites an index's root page (delete-mark old record + insert new —
+  /// leaving the old version as a deleted record, as real catalogs do).
+  Status UpdateIndexRoot(const std::string& table, const std::string& index,
+                         uint32_t new_root);
+
+  /// Recovery-only: mirrors an already-persisted table/index in memory
+  /// without writing catalog records (used by OpenFromCheckpoint, whose
+  /// storage already holds the records).
+  void RegisterLoadedTable(const TableSchema& schema, uint32_t object_id,
+                           uint32_t first_page);
+  void RegisterLoadedIndex(const std::string& table, const IndexInfo& index);
+
+  /// Case-insensitive lookup; nullptr when absent.
+  const TableInfo* Find(const std::string& table) const;
+
+  const std::map<std::string, TableInfo>& tables() const { return tables_; }
+
+ private:
+  /// Writes one catalog record.
+  Status WriteEntry(const std::string& entry_type, const std::string& name,
+                    uint32_t object_id, uint32_t table_object_id,
+                    uint32_t root_page, const std::string& info);
+
+  /// Delete-marks catalog records matching (entry_type, name).
+  Status DeleteEntries(const std::string& entry_type, const std::string& name);
+
+  std::string Key(const std::string& name) const;
+
+  Pager* pager_;
+  std::unique_ptr<TableHeap> heap_;
+  std::map<std::string, TableInfo> tables_;  // key: lower-cased name
+  uint64_t next_row_id_ = 1;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_ENGINE_CATALOG_H_

@@ -1,0 +1,45 @@
+// Virtual clock. Library code never reads the wall clock; experiments
+// inject a ManualClock, which also models the Section III-C attack where a
+// privileged user sets the server's global clock backwards to backdate
+// audit-log entries.
+#ifndef DBFA_ENGINE_CLOCK_H_
+#define DBFA_ENGINE_CLOCK_H_
+
+#include <cstdint>
+
+namespace dbfa {
+
+/// Source of timestamps (seconds since an arbitrary epoch).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t Now() = 0;
+};
+
+/// Fully controllable clock; auto-advances by `tick` per reading so that
+/// successive statements get distinct, increasing timestamps unless the
+/// operator tampers with it.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start = 1'000'000, int64_t tick = 1)
+      : now_(start), tick_(tick) {}
+
+  int64_t Now() override {
+    int64_t t = now_;
+    now_ += tick_;
+    return t;
+  }
+
+  /// The Section III-C attack lever: move the clock (backwards allowed).
+  void Set(int64_t t) { now_ = t; }
+  void Advance(int64_t delta) { now_ += delta; }
+  int64_t Peek() const { return now_; }
+
+ private:
+  int64_t now_;
+  int64_t tick_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_ENGINE_CLOCK_H_

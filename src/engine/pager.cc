@@ -1,0 +1,93 @@
+#include "engine/pager.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace dbfa {
+
+Pager::Pager(const PageLayoutParams& params, size_t pool_pages)
+    : fmt_(params), pool_(pool_pages, params.page_size, this) {}
+
+uint32_t Pager::CreateObject() {
+  uint32_t id = static_cast<uint32_t>(files_.size()) + 1;
+  files_[id] = std::make_unique<StorageFile>(params().page_size);
+  return id;
+}
+
+bool Pager::HasObject(uint32_t object_id) const {
+  return files_.count(object_id) != 0;
+}
+
+StorageFile* Pager::file(uint32_t object_id) {
+  auto it = files_.find(object_id);
+  return it == files_.end() ? nullptr : it->second.get();
+}
+
+const StorageFile* Pager::file(uint32_t object_id) const {
+  auto it = files_.find(object_id);
+  return it == files_.end() ? nullptr : it->second.get();
+}
+
+Result<PageHandle> Pager::Fetch(uint32_t object_id, uint32_t page_id) {
+  StorageFile* f = file(object_id);
+  if (f == nullptr) {
+    return Status::NotFound(StrFormat("no object %u", object_id));
+  }
+  if (!f->Contains(page_id)) {
+    return Status::NotFound(
+        StrFormat("object %u has no page %u", object_id, page_id));
+  }
+  return pool_.Fetch(PageKey{object_id, page_id});
+}
+
+Result<std::pair<uint32_t, PageHandle>> Pager::NewPage(uint32_t object_id,
+                                                       PageType type) {
+  StorageFile* f = file(object_id);
+  if (f == nullptr) {
+    return Status::NotFound(StrFormat("no object %u", object_id));
+  }
+  uint32_t page_id = f->Allocate();
+  DBFA_ASSIGN_OR_RETURN(PageHandle handle,
+                        pool_.Fetch(PageKey{object_id, page_id}));
+  fmt_.InitPage(handle.data(), page_id, object_id, type);
+  CommitPage(&handle);
+  return std::make_pair(page_id, std::move(handle));
+}
+
+void Pager::CommitPage(PageHandle* handle) {
+  fmt_.SetLsn(handle->data(), ++lsn_);
+  fmt_.UpdateChecksum(handle->data());
+  handle->MarkDirty();
+}
+
+Result<Bytes> Pager::SnapshotDisk() {
+  DBFA_RETURN_IF_ERROR(pool_.FlushAll());
+  Bytes out;
+  for (const auto& [id, f] : files_) {
+    out.insert(out.end(), f->bytes().begin(), f->bytes().end());
+  }
+  return out;
+}
+
+Status Pager::ReadPage(PageKey key, uint8_t* out) {
+  StorageFile* f = file(key.object_id);
+  if (f == nullptr || !f->Contains(key.page_id)) {
+    return Status::NotFound(StrFormat("read of missing page %u/%u",
+                                      key.object_id, key.page_id));
+  }
+  std::memcpy(out, f->PageData(key.page_id), params().page_size);
+  return Status::Ok();
+}
+
+Status Pager::WritePage(PageKey key, const uint8_t* data) {
+  StorageFile* f = file(key.object_id);
+  if (f == nullptr || !f->Contains(key.page_id)) {
+    return Status::NotFound(StrFormat("write of missing page %u/%u",
+                                      key.object_id, key.page_id));
+  }
+  std::memcpy(f->PageData(key.page_id), data, params().page_size);
+  return Status::Ok();
+}
+
+}  // namespace dbfa

@@ -1,0 +1,79 @@
+// Pager: object files + buffer pool + LSN stamping, shared by heaps,
+// B-Trees and the catalog.
+//
+// Every page mutation is stamped with a process-global LSN that the SQL
+// surface cannot influence — the storage-resident modification order that
+// Section III-C uses to expose backdated audit logs.
+#ifndef DBFA_ENGINE_PAGER_H_
+#define DBFA_ENGINE_PAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/buffer_pool.h"
+#include "engine/storage_file.h"
+#include "storage/page_formatter.h"
+#include "storage/page_layout.h"
+
+namespace dbfa {
+
+class Pager : public PageBacking {
+ public:
+  Pager(const PageLayoutParams& params, size_t pool_pages);
+
+  const PageFormatter& fmt() const { return fmt_; }
+  const PageLayoutParams& params() const { return fmt_.params(); }
+  BufferPool& pool() { return pool_; }
+  const BufferPool& pool() const { return pool_; }
+
+  /// Creates a new object file; returns the object id (1-based, dense).
+  uint32_t CreateObject();
+  bool HasObject(uint32_t object_id) const;
+  uint32_t max_object_id() const {
+    return static_cast<uint32_t>(files_.size());
+  }
+
+  /// Pins an existing page.
+  Result<PageHandle> Fetch(uint32_t object_id, uint32_t page_id);
+
+  /// Allocates and initializes a fresh page of `type`; returns its id and a
+  /// pinned handle (already dirty).
+  Result<std::pair<uint32_t, PageHandle>> NewPage(uint32_t object_id,
+                                                  PageType type);
+
+  /// Call after mutating a pinned page: stamps the next global LSN, fixes
+  /// the checksum, marks the frame dirty.
+  void CommitPage(PageHandle* handle);
+
+  uint64_t current_lsn() const { return lsn_; }
+  /// Restores the LSN watermark after loading checkpointed pages (stamps
+  /// must stay monotone across restarts).
+  void RestoreLsn(uint64_t lsn) {
+    if (lsn > lsn_) lsn_ = lsn;
+  }
+
+  /// Direct access to an object's backing file (flush the pool first when
+  /// byte-accurate content matters). Used for snapshots and for byte-level
+  /// tampering simulations.
+  StorageFile* file(uint32_t object_id);
+  const StorageFile* file(uint32_t object_id) const;
+
+  /// Flushes the pool and concatenates all object files in id order.
+  Result<Bytes> SnapshotDisk();
+
+  // PageBacking:
+  Status ReadPage(PageKey key, uint8_t* out) override;
+  Status WritePage(PageKey key, const uint8_t* data) override;
+
+ private:
+  PageFormatter fmt_;
+  std::map<uint32_t, std::unique_ptr<StorageFile>> files_;
+  BufferPool pool_;
+  uint64_t lsn_ = 0;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_ENGINE_PAGER_H_

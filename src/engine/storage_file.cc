@@ -1,0 +1,22 @@
+#include "engine/storage_file.h"
+
+#include "storage/disk_image.h"
+
+namespace dbfa {
+
+Status StorageFile::SaveTo(const std::string& path) const {
+  return SaveImage(path, data_);
+}
+
+Result<StorageFile> StorageFile::LoadFrom(const std::string& path,
+                                          uint32_t page_size) {
+  DBFA_ASSIGN_OR_RETURN(Bytes content, LoadImage(path));
+  if (content.size() % page_size != 0) {
+    return Status::Corruption("file size is not a multiple of the page size");
+  }
+  StorageFile file(page_size);
+  file.data_ = std::move(content);
+  return file;
+}
+
+}  // namespace dbfa

@@ -1,0 +1,60 @@
+// One storage file per database object (table heap, index), as many real
+// row stores do. Files hold whole pages; page ids are 1-based (0 means
+// "no page" in chains and pointers).
+//
+// Files are memory-resident for experiment determinism and speed; Save/Load
+// move them to the filesystem, and Serialize() feeds disk-image assembly.
+#ifndef DBFA_ENGINE_STORAGE_FILE_H_
+#define DBFA_ENGINE_STORAGE_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dbfa {
+
+class StorageFile {
+ public:
+  explicit StorageFile(uint32_t page_size) : page_size_(page_size) {}
+
+  uint32_t page_size() const { return page_size_; }
+  uint32_t page_count() const {
+    return static_cast<uint32_t>(data_.size() / page_size_);
+  }
+
+  /// Appends a zeroed page; returns its 1-based page id.
+  uint32_t Allocate() {
+    data_.resize(data_.size() + page_size_, 0);
+    return page_count();
+  }
+
+  /// Pointer to the page's bytes. page_id must be in [1, page_count()].
+  uint8_t* PageData(uint32_t page_id) {
+    return data_.data() + static_cast<size_t>(page_id - 1) * page_size_;
+  }
+  const uint8_t* PageData(uint32_t page_id) const {
+    return data_.data() + static_cast<size_t>(page_id - 1) * page_size_;
+  }
+
+  bool Contains(uint32_t page_id) const {
+    return page_id >= 1 && page_id <= page_count();
+  }
+
+  /// Whole-file bytes (page_count * page_size).
+  const Bytes& bytes() const { return data_; }
+  Bytes& mutable_bytes() { return data_; }
+
+  Status SaveTo(const std::string& path) const;
+  static Result<StorageFile> LoadFrom(const std::string& path,
+                                      uint32_t page_size);
+
+ private:
+  uint32_t page_size_;
+  Bytes data_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_ENGINE_STORAGE_FILE_H_

@@ -1,0 +1,92 @@
+// Heap storage for one table: a chain of data pages.
+//
+// Deletion only applies the dialect's delete mark (Figure 1); the bytes
+// stay in place. Space is reclaimed only by (a) reuse of fully-dead pages
+// once their deleted fraction reaches the configured threshold — modeling
+// Oracle-style percent-utilization reuse discussed in Section III-D — or
+// (b) an explicit VACUUM, which compacts every page.
+#ifndef DBFA_ENGINE_TABLE_HEAP_H_
+#define DBFA_ENGINE_TABLE_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/pager.h"
+#include "storage/schema.h"
+
+namespace dbfa {
+
+class TableHeap {
+ public:
+  /// Wraps object `object_id` (file must already exist in the pager).
+  /// `reuse_threshold` > 1 disables page reuse entirely.
+  TableHeap(Pager* pager, uint32_t object_id, TableSchema schema,
+            double reuse_threshold);
+
+  /// Allocates the first page if the file is empty.
+  Status EnsureInitialized();
+
+  uint32_t object_id() const { return object_id_; }
+  uint32_t first_page() const { return first_page_; }
+  const TableSchema& schema() const { return schema_; }
+
+  /// Appends a record; returns its physical location.
+  Result<RowPointer> Insert(const Record& record, uint64_t row_id);
+
+  /// Applies the dialect delete mark to the record at `ptr`.
+  Status Delete(RowPointer ptr);
+
+  /// Returns the active record at `ptr`; nullopt when the slot is deleted,
+  /// tombstoned, or out of range.
+  Result<std::optional<Record>> Fetch(RowPointer ptr);
+
+  /// Calls `fn` for every *active* record in physical order.
+  Status Scan(
+      const std::function<Status(RowPointer, const Record&)>& fn);
+
+  /// Calls `fn` for every parseable record including deleted ones.
+  Status ScanRaw(const std::function<Status(RowPointer, const Record&,
+                                            bool deleted)>& fn);
+
+  /// Compacts every page in place: deleted records are physically erased
+  /// and survivors are re-packed (slots renumbered). Indexes must be
+  /// rebuilt afterwards; Database::Vacuum coordinates that.
+  Status Vacuum();
+
+  struct HeapStats {
+    uint64_t active_records = 0;
+    uint64_t deleted_records = 0;
+    uint32_t pages = 0;
+    uint64_t reused_pages = 0;
+  };
+  HeapStats Stats() const;
+
+ private:
+  struct PageCounts {
+    uint32_t active = 0;
+    uint32_t deleted = 0;
+  };
+
+  /// Physically erases deleted records of one page by re-inserting the
+  /// survivors into a freshly initialized page image.
+  Status CompactPage(uint32_t page_id);
+
+  /// Finds a fully-dead page eligible for reuse, or 0.
+  uint32_t FindReusablePage() const;
+
+  Pager* pager_;
+  uint32_t object_id_;
+  TableSchema schema_;
+  double reuse_threshold_;
+  uint32_t first_page_ = 0;
+  uint32_t chain_tail_ = 0;     // last page of the next-pointer chain
+  uint32_t insert_target_ = 0;  // page currently receiving inserts
+  std::unordered_map<uint32_t, PageCounts> counts_;
+  uint64_t reused_pages_ = 0;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_ENGINE_TABLE_HEAP_H_

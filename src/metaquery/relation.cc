@@ -1,0 +1,79 @@
+#include "metaquery/relation.h"
+
+namespace dbfa {
+
+Result<std::shared_ptr<Relation>> MakeCarvedRelation(
+    const CarveResult& carve, const std::string& table) {
+  const TableSchema* schema = carve.SchemaByName(table);
+  if (schema == nullptr) {
+    return Status::NotFound("no carved schema for table: " + table);
+  }
+  std::vector<std::string> columns;
+  for (const Column& c : schema->columns) columns.push_back(c.name);
+  columns.push_back(kRowStatusColumn);
+  columns.push_back("PageId");
+  columns.push_back("Slot");
+  columns.push_back("RowId");
+  columns.push_back("PageLsn");
+
+  std::vector<Record> rows;
+  for (const CarvedRecord* r : carve.RecordsForTable(table)) {
+    if (r->values.size() != schema->columns.size()) continue;
+    Record row = r->values;
+    row.push_back(Value::Str(RowStatusName(r->status)));
+    row.push_back(Value::Int(r->page_id));
+    row.push_back(r->slot == CarvedRecord::kOrphanSlot
+                      ? Value::Null()
+                      : Value::Int(r->slot));
+    row.push_back(r->row_id == 0 ? Value::Null()
+                                 : Value::Int(static_cast<int64_t>(r->row_id)));
+    row.push_back(Value::Int(static_cast<int64_t>(r->page_lsn)));
+    rows.push_back(std::move(row));
+  }
+  return std::shared_ptr<Relation>(
+      new VectorRelation(std::move(columns), std::move(rows)));
+}
+
+namespace {
+
+/// Live view over a MiniDB heap. Rows are read at scan time.
+class LiveTableRelation : public Relation {
+ public:
+  LiveTableRelation(Database* db, std::string table,
+                    std::vector<std::string> columns)
+      : db_(db), table_(std::move(table)), columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const override {
+    return columns_;
+  }
+
+  Status Scan(const std::function<Status(const Record&)>& fn) const override {
+    TableHeap* heap = db_->heap(table_);
+    if (heap == nullptr) {
+      return Status::NotFound("table dropped: " + table_);
+    }
+    return heap->Scan(
+        [&](RowPointer, const Record& rec) { return fn(rec); });
+  }
+
+ private:
+  Database* db_;
+  std::string table_;
+  std::vector<std::string> columns_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<Relation>> MakeLiveRelation(Database* db,
+                                                   const std::string& table) {
+  const TableInfo* info = db->catalog().Find(table);
+  if (info == nullptr) {
+    return Status::NotFound("no such table: " + table);
+  }
+  std::vector<std::string> columns;
+  for (const Column& c : info->schema.columns) columns.push_back(c.name);
+  return std::shared_ptr<Relation>(
+      new LiveTableRelation(db, info->schema.name, std::move(columns)));
+}
+
+}  // namespace dbfa

@@ -1,0 +1,61 @@
+// Meta-query engine: SQL over any mix of carved and live relations.
+//
+// Section II-C's examples run verbatim here:
+//   SELECT * FROM CarvCustomer WHERE RowStatus = 'DELETED'
+//   SELECT * FROM CarvRAMProduct AS M JOIN CarvDiskProduct AS D
+//     ON M.PID = D.PID WHERE M.Price <> D.Price
+//
+// Supports filters, inner equi-joins, arithmetic, aggregates
+// (COUNT/SUM/MIN/MAX/AVG) with GROUP BY, ORDER BY, and LIMIT — enough to
+// run the full SSBM query suite for the anti-forensics evaluation.
+#ifndef DBFA_METAQUERY_SESSION_H_
+#define DBFA_METAQUERY_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "metaquery/relation.h"
+#include "sql/parser.h"
+
+namespace dbfa {
+
+/// Query output with formatting helpers.
+struct QueryTable {
+  std::vector<std::string> columns;
+  std::vector<Record> rows;
+
+  /// Fixed-width text rendering for reports and examples.
+  std::string ToText(size_t max_rows = 50) const;
+};
+
+class MetaQuerySession {
+ public:
+  /// Registers a relation under `name` (case-insensitive; last wins).
+  void Register(const std::string& name, std::shared_ptr<Relation> relation);
+
+  /// Registers every schema-bearing table of a carve result as
+  /// "<prefix><TableName>" (e.g. prefix "Carv" -> CarvCustomer).
+  Status RegisterCarve(const CarveResult& carve, const std::string& prefix);
+
+  /// Registers every live table of a database under its own name.
+  /// `db` must outlive the session.
+  Status RegisterDatabase(Database* db);
+
+  /// Parses and executes one SELECT statement.
+  Result<QueryTable> Query(const std::string& select_sql);
+  Result<QueryTable> Execute(const sql::SelectStmt& stmt);
+
+  /// Registered relation names (sorted).
+  std::vector<std::string> RelationNames() const;
+
+ private:
+  Result<std::shared_ptr<Relation>> Lookup(const std::string& name) const;
+
+  std::map<std::string, std::shared_ptr<Relation>> relations_;  // lower key
+  std::map<std::string, std::string> display_names_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_METAQUERY_SESSION_H_

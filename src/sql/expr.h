@@ -1,0 +1,112 @@
+// Expression AST and evaluator.
+//
+// Expressions appear in WHERE clauses of logged statements (DBDetective
+// re-evaluates them against carved records to attribute deletions — Figure
+// 4), in meta-queries over carved relations, and in SELECT item lists
+// (arithmetic inside aggregates for the SSBM queries).
+//
+// NULL semantics are simplified two-valued logic: any comparison involving
+// NULL yields NULL, and NULL is treated as false wherever a boolean is
+// required. IS NULL / IS NOT NULL test NULL-ness directly.
+#ifndef DBFA_SQL_EXPR_H_
+#define DBFA_SQL_EXPR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace dbfa::sql {
+
+enum class ExprKind {
+  kLiteral,
+  kColumn,
+  kCompare,  // lhs op rhs
+  kAnd,
+  kOr,
+  kNot,
+  kLike,    // lhs LIKE pattern (negated supported)
+  kIsNull,  // lhs IS [NOT] NULL
+  kArith,   // lhs arith_op rhs
+  kFunc,    // func_name(lhs)
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+const char* CompareOpText(CompareOp op);
+const char* ArithOpText(ArithOp op);
+
+/// Immutable expression node. Shared pointers make statements cheaply
+/// copyable (audit-log entries hold parsed statements).
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  Value literal;          // kLiteral
+  std::string column;     // kColumn: possibly qualified ("c.Name")
+  CompareOp compare_op = CompareOp::kEq;  // kCompare
+  ArithOp arith_op = ArithOp::kAdd;       // kArith
+  std::string pattern;    // kLike
+  bool negated = false;   // kLike / kIsNull
+  std::string func_name;  // kFunc (LENGTH)
+
+  std::shared_ptr<const Expr> lhs;
+  std::shared_ptr<const Expr> rhs;
+
+  /// Renders back to SQL text (round-trips through the parser).
+  std::string ToSql() const;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// Node constructors.
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumn(std::string name);
+ExprPtr MakeCompare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeNot(ExprPtr operand);
+ExprPtr MakeLike(ExprPtr lhs, std::string pattern, bool negated);
+ExprPtr MakeIsNull(ExprPtr lhs, bool negated);
+ExprPtr MakeArith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeFunc(std::string name, ExprPtr arg);
+
+/// Resolves column references during evaluation. Implementations decide how
+/// to treat qualified names and unknown columns.
+class ColumnBinding {
+ public:
+  virtual ~ColumnBinding() = default;
+  /// Returns the column's value, or nullopt when the name does not resolve.
+  virtual std::optional<Value> Lookup(std::string_view name) const = 0;
+};
+
+/// Binding over a single record + column-name list (optionally with a
+/// qualifier accepted as "<qualifier>.<name>").
+class RecordBinding : public ColumnBinding {
+ public:
+  RecordBinding(const std::vector<std::string>& names, const Record& record,
+                std::string qualifier = "")
+      : names_(names), record_(record), qualifier_(std::move(qualifier)) {}
+
+  std::optional<Value> Lookup(std::string_view name) const override;
+
+ private:
+  const std::vector<std::string>& names_;
+  const Record& record_;
+  std::string qualifier_;
+};
+
+/// Evaluates to a Value (NULL propagates). Unknown columns are errors.
+Result<Value> Eval(const Expr& e, const ColumnBinding& binding);
+
+/// Evaluates as a predicate: NULL/unknown results become false.
+Result<bool> EvalPredicate(const Expr& e, const ColumnBinding& binding);
+
+/// Collects every column name referenced by `e`.
+void CollectColumns(const Expr& e, std::vector<std::string>* out);
+
+}  // namespace dbfa::sql
+
+#endif  // DBFA_SQL_EXPR_H_

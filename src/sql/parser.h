@@ -1,0 +1,34 @@
+// Recursive-descent parser for the MiniDB / meta-query SQL subset:
+//
+//   CREATE TABLE t (col TYPE [NOT NULL], ..., [PRIMARY KEY (...)],
+//                   [FOREIGN KEY (col) REFERENCES t2 (col2)] ...)
+//   CREATE INDEX i ON t (col, ...)
+//   DROP TABLE t
+//   INSERT INTO t VALUES (...), (...)
+//   UPDATE t SET col = literal, ... [WHERE expr]
+//   DELETE FROM t [WHERE expr]
+//   SELECT items FROM t [AS a] [JOIN t2 [AS b] ON c1 = c2]...
+//     [WHERE expr] [GROUP BY cols] [ORDER BY col [DESC], ...] [LIMIT n]
+//   VACUUM t
+//
+// Expressions support comparison operators, AND/OR/NOT, LIKE, IS [NOT]
+// NULL, BETWEEN, IN (literal list), arithmetic, and LENGTH()/ABS().
+#ifndef DBFA_SQL_PARSER_H_
+#define DBFA_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/statement.h"
+
+namespace dbfa::sql {
+
+/// Parses one statement (an optional trailing ';' is accepted).
+Result<Statement> ParseStatement(std::string_view text);
+
+/// Parses a stand-alone expression (predicate).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace dbfa::sql
+
+#endif  // DBFA_SQL_PARSER_H_

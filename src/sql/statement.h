@@ -1,0 +1,119 @@
+// Parsed SQL statements. Audit-log entries carry these in structured form
+// so DBDetective can re-evaluate logged predicates against carved records.
+#ifndef DBFA_SQL_STATEMENT_H_
+#define DBFA_SQL_STATEMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sql/expr.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace dbfa::sql {
+
+struct CreateTableStmt {
+  TableSchema schema;
+  std::string ToSql() const;
+};
+
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table;
+  std::vector<std::string> columns;
+  std::string ToSql() const;
+};
+
+struct DropTableStmt {
+  std::string table;
+  std::string ToSql() const;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<Record> rows;
+  std::string ToSql() const;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> assignments;
+  ExprPtr where;  // may be null (all rows)
+  std::string ToSql() const;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // may be null (all rows)
+  std::string ToSql() const;
+};
+
+enum class AggFunc { kNone, kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggFuncName(AggFunc f);
+
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  ExprPtr expr;       // null for COUNT(*) and for plain '*'
+  bool star = false;  // SELECT * / COUNT(*)
+  std::string alias;  // output column name (defaults derived when empty)
+
+  /// Output column name: alias, else column name, else rendered expression.
+  std::string OutputName() const;
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty when none
+
+  /// Alias if present, else the table name.
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct JoinClause {
+  TableRef table;
+  std::string left_column;   // possibly qualified
+  std::string right_column;  // possibly qualified
+};
+
+struct OrderKey {
+  std::string column;  // output column name
+  bool descending = false;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;  // may be null
+  std::vector<std::string> group_by;
+  std::vector<OrderKey> order_by;
+  int64_t limit = -1;  // -1: none
+
+  bool HasAggregates() const;
+  std::string ToSql() const;
+};
+
+struct VacuumStmt {
+  std::string table;
+  std::string ToSql() const;
+};
+
+using Statement =
+    std::variant<CreateTableStmt, CreateIndexStmt, DropTableStmt, InsertStmt,
+                 UpdateStmt, DeleteStmt, SelectStmt, VacuumStmt>;
+
+/// Renders any statement back to SQL.
+std::string StatementToSql(const Statement& stmt);
+
+/// Statement kind name for reports ("INSERT", "SELECT", ...).
+const char* StatementKind(const Statement& stmt);
+
+}  // namespace dbfa::sql
+
+#endif  // DBFA_SQL_STATEMENT_H_

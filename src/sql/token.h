@@ -1,0 +1,37 @@
+// SQL tokenizer for the subset of SQL used by MiniDB audit logs and
+// meta-queries.
+#ifndef DBFA_SQL_TOKEN_H_
+#define DBFA_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbfa::sql {
+
+enum class TokenType {
+  kIdentifier,  // unquoted word (keywords included; matched case-insensitively)
+  kString,      // 'single quoted', with '' escaping
+  kInteger,
+  kFloat,
+  kSymbol,  // punctuation / operator, normalized text: ( ) , . * = <> <= ...
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      // identifier/symbol text; decoded string body
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t position = 0;  // byte offset in the input, for error messages
+};
+
+/// Splits `sql` into tokens. Multi-character operators (<=, >=, <>, !=) are
+/// single symbol tokens.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace dbfa::sql
+
+#endif  // DBFA_SQL_TOKEN_H_

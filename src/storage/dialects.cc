@@ -1,0 +1,329 @@
+#include "storage/dialects.h"
+
+#include <cassert>
+
+namespace dbfa {
+namespace {
+
+// Emulates Oracle: 8 KiB little-endian pages, back-of-page slot directory,
+// explicit row identifiers, inline string sizes, DELETE marks the row
+// delimiter (Figure 1 page #1).
+PageLayoutParams OracleLike() {
+  PageLayoutParams p;
+  p.dialect = "oracle_like";
+  p.page_size = 8192;
+  p.big_endian = false;
+  p.magic_offset = 0;
+  p.magic = {0x4F, 0x52, 0xA0};
+  p.page_id_offset = 4;
+  p.object_id_offset = 8;
+  p.page_type_offset = 13;
+  p.record_count_offset = 14;
+  p.free_space_offset = 16;
+  p.next_page_offset = 20;
+  p.lsn_offset = 24;
+  p.checksum_kind = ChecksumKind::kXor8;
+  p.checksum_offset = 32;
+  p.header_size = 48;
+  p.slot_placement = SlotPlacement::kBackSlotsFrontData;
+  p.slot_has_length = true;
+  p.stores_row_id = true;
+  p.row_id_varint = false;
+  p.string_mode = StringMode::kInlineSizes;
+  p.delete_strategy = DeleteStrategy::kRowMarker;
+  p.active_marker = 0x3C;
+  p.deleted_marker = 0x7A;
+  p.data_marker_active = 0xB1;
+  p.data_marker_deleted = 0x00;
+  p.pointer_format = PointerFormat::kU48Packed;
+  p.index_entry_marker = 0xA1;
+  return p;
+}
+
+// Emulates MySQL/InnoDB: 16 KiB big-endian pages with a leading CRC field,
+// front slot directory, explicit row identifiers, inline sizes, DELETE marks
+// the row delimiter (Figure 1 page #1).
+PageLayoutParams MySqlLike() {
+  PageLayoutParams p;
+  p.dialect = "mysql_like";
+  p.page_size = 16384;
+  p.big_endian = true;
+  p.checksum_kind = ChecksumKind::kCrc32;
+  p.checksum_offset = 0;
+  p.magic_offset = 4;
+  p.magic = {0xFE, 0xDB};
+  p.page_id_offset = 8;
+  p.object_id_offset = 12;
+  p.page_type_offset = 16;
+  p.record_count_offset = 18;
+  p.free_space_offset = 20;
+  p.next_page_offset = 24;
+  p.lsn_offset = 32;
+  p.header_size = 56;
+  p.slot_placement = SlotPlacement::kFrontSlotsBackData;
+  p.slot_has_length = false;
+  p.stores_row_id = true;
+  p.row_id_varint = false;
+  p.string_mode = StringMode::kInlineSizes;
+  p.delete_strategy = DeleteStrategy::kRowMarker;
+  p.active_marker = 0x2C;
+  p.deleted_marker = 0x20;
+  p.data_marker_active = 0xC3;
+  p.data_marker_deleted = 0x01;
+  p.pointer_format = PointerFormat::kU32PageU16SlotBE;
+  p.index_entry_marker = 0xA2;
+  return p;
+}
+
+// Emulates PostgreSQL: 8 KiB little-endian pages, LSN first, line-pointer
+// (front) slot array with lengths, no stored row identifier, inline sizes,
+// DELETE marks the raw-data delimiter (Figure 1 page #2).
+PageLayoutParams PostgresLike() {
+  PageLayoutParams p;
+  p.dialect = "postgres_like";
+  p.page_size = 8192;
+  p.big_endian = false;
+  p.lsn_offset = 0;
+  p.checksum_kind = ChecksumKind::kFletcher16;
+  p.checksum_offset = 8;
+  p.magic_offset = 10;
+  p.magic = {0x50, 0x47};
+  p.page_id_offset = 12;
+  p.object_id_offset = 16;
+  p.page_type_offset = 20;
+  p.record_count_offset = 22;
+  p.free_space_offset = 24;
+  p.next_page_offset = 28;
+  p.header_size = 40;
+  p.slot_placement = SlotPlacement::kFrontSlotsBackData;
+  p.slot_has_length = true;
+  p.stores_row_id = false;
+  p.string_mode = StringMode::kInlineSizes;
+  p.delete_strategy = DeleteStrategy::kDataMarker;
+  p.active_marker = 0x2D;
+  p.deleted_marker = 0x6F;
+  p.data_marker_active = 0xB4;
+  p.data_marker_deleted = 0x00;
+  p.pointer_format = PointerFormat::kU32PageU16Slot;
+  p.index_entry_marker = 0xA3;
+  return p;
+}
+
+// Emulates SQLite: 4 KiB big-endian pages, no checksum, varint row
+// identifiers, inline sizes, DELETE marks the row identifier (Figure 1
+// page #3).
+PageLayoutParams SqliteLike() {
+  PageLayoutParams p;
+  p.dialect = "sqlite_like";
+  p.page_size = 4096;
+  p.big_endian = true;
+  p.magic_offset = 0;
+  p.magic = {0x53, 0x51, 0x4C};
+  p.page_type_offset = 3;
+  p.page_id_offset = 4;
+  p.object_id_offset = 8;
+  p.record_count_offset = 12;
+  p.free_space_offset = 14;
+  p.next_page_offset = 16;
+  p.lsn_offset = 20;
+  p.checksum_kind = ChecksumKind::kNone;
+  p.checksum_offset = 0;
+  p.header_size = 32;
+  p.slot_placement = SlotPlacement::kFrontSlotsBackData;
+  p.slot_has_length = false;
+  p.stores_row_id = true;
+  p.row_id_varint = true;
+  p.string_mode = StringMode::kInlineSizes;
+  p.delete_strategy = DeleteStrategy::kRowIdentifier;
+  p.active_marker = 0x17;
+  p.deleted_marker = 0x99;
+  p.data_marker_active = 0xD7;
+  p.data_marker_deleted = 0x11;
+  p.pointer_format = PointerFormat::kVarintPageSlot;
+  p.index_entry_marker = 0xA4;
+  return p;
+}
+
+// Emulates IBM DB2: 4 KiB little-endian pages, back slot directory with
+// lengths, no row identifier, column-directory records (numbers separate
+// from strings), DELETE only alters the row directory (slot tombstone).
+PageLayoutParams Db2Like() {
+  PageLayoutParams p;
+  p.dialect = "db2_like";
+  p.page_size = 4096;
+  p.big_endian = false;
+  p.magic_offset = 0;
+  p.magic = {0xDB, 0x02};
+  p.object_id_offset = 4;
+  p.page_id_offset = 8;
+  p.record_count_offset = 12;
+  p.page_type_offset = 15;
+  p.free_space_offset = 16;
+  p.next_page_offset = 18;
+  p.lsn_offset = 24;
+  p.checksum_kind = ChecksumKind::kXor8;
+  p.checksum_offset = 40;
+  p.header_size = 44;
+  p.slot_placement = SlotPlacement::kBackSlotsFrontData;
+  p.slot_has_length = true;
+  p.stores_row_id = false;
+  p.string_mode = StringMode::kColumnDirectory;
+  p.delete_strategy = DeleteStrategy::kSlotTombstone;
+  p.active_marker = 0x44;
+  p.deleted_marker = 0x55;
+  p.data_marker_active = 0xE0;
+  p.data_marker_deleted = 0x0E;
+  p.pointer_format = PointerFormat::kU32PageU16Slot;
+  p.index_entry_marker = 0xA5;
+  return p;
+}
+
+// Emulates Microsoft SQL Server: 8 KiB little-endian pages, row-offset array
+// at the page end, no row identifier, column-directory records, DELETE only
+// alters the row directory (slot tombstone).
+PageLayoutParams SqlServerLike() {
+  PageLayoutParams p;
+  p.dialect = "sqlserver_like";
+  p.page_size = 8192;
+  p.big_endian = false;
+  p.magic_offset = 0;
+  p.magic = {0x4D, 0x53};
+  p.page_type_offset = 2;
+  p.page_id_offset = 4;
+  p.object_id_offset = 12;
+  p.record_count_offset = 22;
+  p.free_space_offset = 24;
+  p.next_page_offset = 28;
+  p.lsn_offset = 40;
+  p.checksum_kind = ChecksumKind::kFletcher16;
+  p.checksum_offset = 60;
+  p.header_size = 64;
+  p.slot_placement = SlotPlacement::kBackSlotsFrontData;
+  p.slot_has_length = false;
+  p.stores_row_id = false;
+  p.string_mode = StringMode::kColumnDirectory;
+  p.delete_strategy = DeleteStrategy::kSlotTombstone;
+  p.active_marker = 0x30;
+  p.deleted_marker = 0x3F;
+  p.data_marker_active = 0xAA;
+  p.data_marker_deleted = 0x55;
+  p.pointer_format = PointerFormat::kU32PageU16Slot;
+  p.index_entry_marker = 0xA6;
+  return p;
+}
+
+// Emulates Firebird: 8 KiB little-endian pages, front slot directory,
+// explicit row identifiers, column-directory records, DELETE marks the row
+// delimiter.
+PageLayoutParams FirebirdLike() {
+  PageLayoutParams p;
+  p.dialect = "firebird_like";
+  p.page_size = 8192;
+  p.big_endian = false;
+  p.magic_offset = 0;
+  p.magic = {0x46, 0x42, 0x01, 0x02};
+  p.page_id_offset = 4;
+  p.object_id_offset = 8;
+  p.page_type_offset = 12;
+  p.record_count_offset = 14;
+  p.free_space_offset = 16;
+  p.next_page_offset = 20;
+  p.lsn_offset = 24;
+  p.checksum_kind = ChecksumKind::kXor8;
+  p.checksum_offset = 38;
+  p.header_size = 40;
+  p.slot_placement = SlotPlacement::kFrontSlotsBackData;
+  p.slot_has_length = false;
+  p.stores_row_id = true;
+  p.row_id_varint = false;
+  p.string_mode = StringMode::kColumnDirectory;
+  p.delete_strategy = DeleteStrategy::kRowMarker;
+  p.active_marker = 0x46;
+  p.deleted_marker = 0x64;
+  p.data_marker_active = 0x77;
+  p.data_marker_deleted = 0x07;
+  p.pointer_format = PointerFormat::kU32PageU16Slot;
+  p.index_entry_marker = 0xA7;
+  return p;
+}
+
+// Emulates Apache Derby: 4 KiB big-endian pages, front slot directory with
+// lengths, explicit row identifiers, column-directory records, DELETE marks
+// the raw-data delimiter.
+PageLayoutParams DerbyLike() {
+  PageLayoutParams p;
+  p.dialect = "derby_like";
+  p.page_size = 4096;
+  p.big_endian = true;
+  p.magic_offset = 0;
+  p.magic = {0x44, 0x45, 0x52};
+  p.object_id_offset = 4;
+  p.page_id_offset = 8;
+  p.page_type_offset = 12;
+  p.record_count_offset = 14;
+  p.free_space_offset = 16;
+  p.next_page_offset = 20;
+  p.lsn_offset = 32;
+  p.checksum_kind = ChecksumKind::kCrc32;
+  p.checksum_offset = 40;
+  p.header_size = 48;
+  p.slot_placement = SlotPlacement::kFrontSlotsBackData;
+  p.slot_has_length = true;
+  p.stores_row_id = true;
+  p.row_id_varint = false;
+  p.string_mode = StringMode::kColumnDirectory;
+  p.delete_strategy = DeleteStrategy::kDataMarker;
+  p.active_marker = 0x11;
+  p.deleted_marker = 0x22;
+  p.data_marker_active = 0x33;
+  p.data_marker_deleted = 0x99;
+  p.pointer_format = PointerFormat::kU32PageU16SlotBE;
+  p.index_entry_marker = 0xA8;
+  return p;
+}
+
+}  // namespace
+
+const std::vector<std::string>& BuiltinDialectNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "oracle_like",   "mysql_like",    "postgres_like", "sqlite_like",
+      "db2_like",      "sqlserver_like", "firebird_like", "derby_like"};
+  return names;
+}
+
+Result<PageLayoutParams> GetDialect(const std::string& name) {
+  PageLayoutParams p;
+  if (name == "oracle_like") {
+    p = OracleLike();
+  } else if (name == "mysql_like") {
+    p = MySqlLike();
+  } else if (name == "postgres_like") {
+    p = PostgresLike();
+  } else if (name == "sqlite_like") {
+    p = SqliteLike();
+  } else if (name == "db2_like") {
+    p = Db2Like();
+  } else if (name == "sqlserver_like") {
+    p = SqlServerLike();
+  } else if (name == "firebird_like") {
+    p = FirebirdLike();
+  } else if (name == "derby_like") {
+    p = DerbyLike();
+  } else {
+    return Status::NotFound("unknown dialect: " + name);
+  }
+  Status valid = p.Validate();
+  assert(valid.ok());
+  (void)valid;
+  return p;
+}
+
+std::vector<PageLayoutParams> AllDialects() {
+  std::vector<PageLayoutParams> out;
+  for (const std::string& name : BuiltinDialectNames()) {
+    out.push_back(GetDialect(name).value());
+  }
+  return out;
+}
+
+}  // namespace dbfa

@@ -1,0 +1,35 @@
+// Built-in page-layout dialects.
+//
+// The paper generalizes the page layouts of IBM DB2, Oracle, Microsoft SQL
+// Server, PostgreSQL, MySQL, SQLite, Firebird and Apache Derby. This repo
+// cannot ship those engines, so each dialect here is a *structural
+// emulation*: a parameter set reproducing the documented degrees of freedom
+// (page size, slot placement, row-identifier storage, inline column sizes
+// vs. column directory, delete-marking strategy per Figure 1, checksum
+// algorithm, endianness, index pointer format). Names carry a "_like"
+// suffix to make the emulation explicit.
+#ifndef DBFA_STORAGE_DIALECTS_H_
+#define DBFA_STORAGE_DIALECTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page_layout.h"
+
+namespace dbfa {
+
+/// Names of all built-in dialects, in a stable order:
+/// oracle_like, mysql_like, postgres_like, sqlite_like, db2_like,
+/// sqlserver_like, firebird_like, derby_like.
+const std::vector<std::string>& BuiltinDialectNames();
+
+/// Returns the parameter set for a built-in dialect name.
+Result<PageLayoutParams> GetDialect(const std::string& name);
+
+/// All built-in parameter sets, in BuiltinDialectNames() order.
+std::vector<PageLayoutParams> AllDialects();
+
+}  // namespace dbfa
+
+#endif  // DBFA_STORAGE_DIALECTS_H_

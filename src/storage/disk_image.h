@@ -1,0 +1,66 @@
+// Disk images: the unstructured byte streams handed to the carver.
+//
+// A forensic image may contain several DBMS files (possibly from different
+// DBMSes), non-database garbage between them, and corrupted regions. The
+// builder records ground-truth extents so tests and benchmarks can score
+// carving recall precisely.
+#ifndef DBFA_STORAGE_DISK_IMAGE_H_
+#define DBFA_STORAGE_DISK_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dbfa {
+
+/// A labeled extent within an image.
+struct ImageExtent {
+  std::string label;   // file name or "garbage"
+  size_t offset = 0;
+  size_t size = 0;
+  bool is_garbage = false;
+};
+
+/// Assembles an image from files and garbage runs.
+class DiskImageBuilder {
+ public:
+  DiskImageBuilder() = default;
+
+  /// Appends DBMS file content (whole pages).
+  void AppendFile(const std::string& name, const Bytes& content);
+
+  /// Appends `size` bytes of pseudo-random garbage.
+  void AppendGarbage(size_t size, Rng* rng);
+
+  /// Appends `size` bytes of plausible text garbage (log-like ASCII), which
+  /// stresses false-positive rejection harder than random bytes.
+  void AppendTextGarbage(size_t size, Rng* rng);
+
+  const Bytes& bytes() const { return bytes_; }
+  const std::vector<ImageExtent>& extents() const { return extents_; }
+
+  /// Moves the accumulated image out.
+  Bytes TakeBytes() { return std::move(bytes_); }
+
+ private:
+  Bytes bytes_;
+  std::vector<ImageExtent> extents_;
+};
+
+/// Writes an image to a file.
+Status SaveImage(const std::string& path, ByteView image);
+
+/// Reads a whole file into memory.
+Result<Bytes> LoadImage(const std::string& path);
+
+/// Overwrites `len` bytes at `offset` with random bytes (sector damage /
+/// hostile tampering simulation).
+void CorruptRegion(Bytes* image, size_t offset, size_t len, Rng* rng);
+
+}  // namespace dbfa
+
+#endif  // DBFA_STORAGE_DISK_IMAGE_H_

@@ -1,0 +1,122 @@
+#include "storage/page_layout.h"
+
+#include "common/strings.h"
+
+namespace dbfa {
+
+const char* PageTypeName(PageType t) {
+  switch (t) {
+    case PageType::kData:
+      return "data";
+    case PageType::kIndexLeaf:
+      return "index_leaf";
+    case PageType::kIndexInternal:
+      return "index_internal";
+    case PageType::kFree:
+      return "free";
+  }
+  return "unknown";
+}
+
+const char* SlotPlacementName(SlotPlacement p) {
+  switch (p) {
+    case SlotPlacement::kFrontSlotsBackData:
+      return "front_slots_back_data";
+    case SlotPlacement::kBackSlotsFrontData:
+      return "back_slots_front_data";
+  }
+  return "unknown";
+}
+
+const char* StringModeName(StringMode m) {
+  switch (m) {
+    case StringMode::kInlineSizes:
+      return "inline_sizes";
+    case StringMode::kColumnDirectory:
+      return "column_directory";
+  }
+  return "unknown";
+}
+
+const char* DeleteStrategyName(DeleteStrategy d) {
+  switch (d) {
+    case DeleteStrategy::kRowMarker:
+      return "row_marker";
+    case DeleteStrategy::kDataMarker:
+      return "data_marker";
+    case DeleteStrategy::kRowIdentifier:
+      return "row_identifier";
+    case DeleteStrategy::kSlotTombstone:
+      return "slot_tombstone";
+  }
+  return "unknown";
+}
+
+const char* PointerFormatName(PointerFormat f) {
+  switch (f) {
+    case PointerFormat::kU32PageU16Slot:
+      return "u32page_u16slot";
+    case PointerFormat::kU32PageU16SlotBE:
+      return "u32page_u16slot_be";
+    case PointerFormat::kVarintPageSlot:
+      return "varint_page_slot";
+    case PointerFormat::kU48Packed:
+      return "u48_packed";
+  }
+  return "unknown";
+}
+
+Status PageLayoutParams::Validate() const {
+  if (page_size < 512 || (page_size & (page_size - 1)) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("page_size %u must be a power of two >= 512", page_size));
+  }
+  if (magic.empty() || magic.size() > 4) {
+    return Status::InvalidArgument("magic must be 1-4 bytes");
+  }
+  auto in_header = [&](uint16_t off, size_t width) {
+    return static_cast<size_t>(off) + width <= header_size;
+  };
+  if (!in_header(magic_offset, magic.size()) ||
+      !in_header(page_id_offset, 4) || !in_header(object_id_offset, 4) ||
+      !in_header(page_type_offset, 1) || !in_header(record_count_offset, 2) ||
+      !in_header(free_space_offset, 2) || !in_header(next_page_offset, 4) ||
+      !in_header(lsn_offset, 8) ||
+      !in_header(checksum_offset, ChecksumWidth(checksum_kind))) {
+    return Status::InvalidArgument("header field exceeds header_size");
+  }
+  if (header_size >= page_size / 4) {
+    return Status::InvalidArgument("header_size too large for page_size");
+  }
+  return Status::Ok();
+}
+
+bool PageLayoutParams::operator==(const PageLayoutParams& other) const {
+  return dialect == other.dialect && page_size == other.page_size &&
+         big_endian == other.big_endian &&
+         magic_offset == other.magic_offset && magic == other.magic &&
+         page_id_offset == other.page_id_offset &&
+         object_id_offset == other.object_id_offset &&
+         page_type_offset == other.page_type_offset &&
+         record_count_offset == other.record_count_offset &&
+         free_space_offset == other.free_space_offset &&
+         next_page_offset == other.next_page_offset &&
+         lsn_offset == other.lsn_offset &&
+         checksum_offset == other.checksum_offset &&
+         checksum_kind == other.checksum_kind &&
+         header_size == other.header_size &&
+         slot_placement == other.slot_placement &&
+         slot_has_length == other.slot_has_length &&
+         stores_row_id == other.stores_row_id &&
+         row_id_varint == other.row_id_varint &&
+         string_mode == other.string_mode &&
+         delete_strategy == other.delete_strategy &&
+         active_marker == other.active_marker &&
+         deleted_marker == other.deleted_marker &&
+         data_marker_active == other.data_marker_active &&
+         data_marker_deleted == other.data_marker_deleted &&
+         pointer_format == other.pointer_format &&
+         index_entry_marker == other.index_entry_marker;
+}
+
+}  // namespace dbfa

@@ -1,0 +1,125 @@
+// The page-layout parameter model — the central abstraction of the paper.
+//
+// "While each DBMS uses its own page layout, a great deal of overlap between
+//  page layouts allowed us to generalize storage for many row-store DBMSes"
+//  (Section II-A). A PageLayoutParams value fully describes one DBMS's page
+// format; the generic PageFormatter interprets pages given the parameters,
+// and the ParameterCollector (src/core) re-derives the parameters from
+// captured storage of an unknown engine. PageLayoutParams serializes to the
+// carver "configuration file" of Figure 2 (src/core/config_io).
+#ifndef DBFA_STORAGE_PAGE_LAYOUT_H_
+#define DBFA_STORAGE_PAGE_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/status.h"
+
+namespace dbfa {
+
+/// Stored page type tag values (written at PageLayoutParams::page_type_offset).
+enum class PageType : uint8_t {
+  kData = 0xD1,      // heap page of table records (incl. system catalog)
+  kIndexLeaf = 0xE1,
+  kIndexInternal = 0xE2,
+  kFree = 0x00,      // never-used page
+};
+
+/// Where the slot directory and the record data live.
+enum class SlotPlacement : uint8_t {
+  /// Slot array directly after the header, growing toward the page end;
+  /// record data packed from the page end growing toward the header
+  /// (PostgreSQL line-pointer style).
+  kFrontSlotsBackData = 0,
+  /// Slot array at the very end of the page growing backward; record data
+  /// after the header growing forward (SQL Server row-offset-array style).
+  kBackSlotsFrontData = 1,
+};
+
+/// How string column sizes are represented inside a record (paper Table II).
+enum class StringMode : uint8_t {
+  /// Sizes stored inline before each value; numbers and strings interleaved
+  /// in declaration order.
+  kInlineSizes = 0,
+  /// No inline sizes; record keeps a directory of pointers to all string
+  /// columns and stores numbers separately from strings.
+  kColumnDirectory = 1,
+};
+
+/// What a DELETE physically marks (paper Figure 1).
+enum class DeleteStrategy : uint8_t {
+  kRowMarker = 0,      // overwrite the row delimiter (MySQL, Oracle)
+  kDataMarker = 1,     // overwrite the raw-data delimiter (PostgreSQL)
+  kRowIdentifier = 2,  // overwrite the row identifier (SQLite)
+  kSlotTombstone = 3,  // only alter the row directory (DB2, SQL Server)
+};
+
+/// Wire format of an index row pointer ("generalized pointer deconstruction",
+/// Section II-A / DBStorageAuditor).
+enum class PointerFormat : uint8_t {
+  kU32PageU16Slot = 0,    // little-endian page id + slot
+  kU32PageU16SlotBE = 1,  // big-endian page id + slot
+  kVarintPageSlot = 2,    // two varints
+  kU48Packed = 3,         // 48-bit little-endian (page << 16 | slot)
+};
+
+const char* PageTypeName(PageType t);
+const char* SlotPlacementName(SlotPlacement p);
+const char* StringModeName(StringMode m);
+const char* DeleteStrategyName(DeleteStrategy d);
+const char* PointerFormatName(PointerFormat f);
+
+/// Complete description of one dialect's page layout. All header offsets are
+/// byte offsets from the start of the page.
+struct PageLayoutParams {
+  std::string dialect;  // identifier, e.g. "mysql_like"
+
+  uint32_t page_size = 8192;
+  bool big_endian = false;
+
+  // ---- page header ----
+  uint16_t magic_offset = 0;
+  std::vector<uint8_t> magic;  // 2-4 constant bytes identifying a page
+  uint16_t page_id_offset = 4;       // u32, 1-based within an object file
+  uint16_t object_id_offset = 8;     // u32
+  uint16_t page_type_offset = 12;    // u8 (PageType)
+  uint16_t record_count_offset = 14; // u16, number of slot entries
+  uint16_t free_space_offset = 16;   // u16, data-region boundary
+  uint16_t next_page_offset = 18;    // u32, heap chain / leaf chain (0 = none)
+  uint16_t lsn_offset = 24;          // u64, storage-stamped modification LSN
+  uint16_t checksum_offset = 32;
+  ChecksumKind checksum_kind = ChecksumKind::kCrc32;
+  uint16_t header_size = 40;
+
+  // ---- slot directory ----
+  SlotPlacement slot_placement = SlotPlacement::kFrontSlotsBackData;
+  bool slot_has_length = false;  // entry: offset u16 [+ length u16]
+
+  // ---- record format ----
+  bool stores_row_id = true;
+  bool row_id_varint = false;  // varint vs fixed u32 row identifier
+  StringMode string_mode = StringMode::kInlineSizes;
+  DeleteStrategy delete_strategy = DeleteStrategy::kRowMarker;
+  uint8_t active_marker = 0x2C;        // row delimiter of a live record
+  uint8_t deleted_marker = 0x7E;       // row delimiter after DELETE
+  uint8_t data_marker_active = 0xB4;   // raw-data delimiter of a live record
+  uint8_t data_marker_deleted = 0x00;  // raw-data delimiter after DELETE
+
+  // ---- index pages ----
+  PointerFormat pointer_format = PointerFormat::kU32PageU16Slot;
+  uint8_t index_entry_marker = 0xA5;
+
+  /// Width in bytes of one slot directory entry.
+  uint16_t SlotEntrySize() const { return slot_has_length ? 4 : 2; }
+
+  /// Sanity-checks offsets against page_size/header_size.
+  Status Validate() const;
+
+  bool operator==(const PageLayoutParams& other) const;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_STORAGE_PAGE_LAYOUT_H_

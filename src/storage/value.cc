@@ -1,0 +1,110 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace dbfa {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "VARCHAR";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  const bool a_num = a.type() == ValueType::kInt || a.type() == ValueType::kDouble;
+  const bool b_num = b.type() == ValueType::kInt || b.type() == ValueType::kDouble;
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) return 0;
+    return a.is_null() ? -1 : 1;
+  }
+  if (a_num && b_num) {
+    if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+      int64_t x = a.as_int();
+      int64_t y = b.as_int();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = a.NumericValue();
+    double y = b.NumericValue();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a_num != b_num) return a_num ? -1 : 1;  // numbers before strings
+  return a.as_string().compare(b.as_string()) < 0
+             ? -1
+             : (a.as_string() == b.as_string() ? 0 : 1);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kDouble: {
+      std::string s = StrFormat("%.6g", as_double());
+      return s;
+    }
+    case ValueType::kString:
+      return as_string();
+  }
+  return "?";
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (type() == ValueType::kString) return SqlQuote(as_string());
+  return ToString();
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B9u;
+    case ValueType::kInt:
+      return std::hash<int64_t>{}(as_int());
+    case ValueType::kDouble: {
+      double d = as_double();
+      // Make integral doubles hash like the equivalent int so hash joins
+      // across int/double columns agree with Compare().
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(as_string());
+  }
+  return 0;
+}
+
+int CompareRecords(const Record& a, const Record& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = Value::Compare(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+std::string RecordToString(const Record& r) {
+  std::string out = "(";
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += r[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dbfa

@@ -1,0 +1,98 @@
+// Typed values and records. MiniDB (and carved output) uses a deliberately
+// small type system — NULL, 64-bit integers, doubles, and variable-length
+// strings — which covers every workload in the paper (SSBM keys are
+// integers, descriptive columns are VARCHARs).
+#ifndef DBFA_STORAGE_VALUE_H_
+#define DBFA_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dbfa {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// A dynamically typed SQL value.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : v_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Real(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt;
+      case 2:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return v_.index() == 0; }
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: ints promote to double; only valid for kInt/kDouble.
+  double NumericValue() const {
+    return type() == ValueType::kInt ? static_cast<double>(as_int())
+                                     : as_double();
+  }
+
+  /// Three-way comparison used for B-Tree ordering and predicate evaluation.
+  /// NULL sorts before everything; numbers compare numerically across
+  /// int/double; numbers sort before strings.
+  static int Compare(const Value& a, const Value& b);
+
+  bool operator==(const Value& other) const {
+    return Compare(*this, other) == 0;
+  }
+  bool operator<(const Value& other) const {
+    return Compare(*this, other) < 0;
+  }
+
+  /// Display form: NULL, 42, 3.14, abc (unquoted).
+  std::string ToString() const;
+  /// SQL literal form: NULL, 42, 3.14, 'abc' (quoted/escaped).
+  std::string ToSqlLiteral() const;
+
+  /// Stable hash for hash joins and duplicate detection.
+  size_t Hash() const;
+
+ private:
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/// One row of values, in schema column order.
+using Record = std::vector<Value>;
+
+/// Lexicographic comparison of records (for composite keys).
+int CompareRecords(const Record& a, const Record& b);
+
+/// Renders "(v1, v2, ...)".
+std::string RecordToString(const Record& r);
+
+}  // namespace dbfa
+
+#endif  // DBFA_STORAGE_VALUE_H_

@@ -1,0 +1,61 @@
+// LogEventAnalysis (Section III-C): expose backdated audit-log entries.
+//
+// A privileged user can set the server clock back, act, and restore it:
+// the log then contains entries whose *timestamps* claim an earlier time.
+// Storage metadata is out of their reach: each record carries a row id
+// drawn from a monotone counter, and every page carries a storage-stamped
+// LSN. The true execution order of logged INSERTs is therefore recoverable
+// from the records they produced, and entries whose timestamp order
+// contradicts that storage order are flagged.
+//
+// Two independent detectors:
+//   1. log-internal — timestamps must be non-decreasing in append (seq)
+//      order; a clock set backwards breaks this immediately.
+//   2. storage-assisted — match each logged INSERT to its carved record;
+//      in claimed-timestamp order the matched row ids must be
+//      non-decreasing. Entries outside the longest consistent subsequence
+//      are the backdated ones (works even when the attacker re-sorted the
+//      log file to hide the seq/timestamp inversion).
+#ifndef DBFA_TIMELINE_LOG_EVENT_ANALYZER_H_
+#define DBFA_TIMELINE_LOG_EVENT_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/artifacts.h"
+#include "engine/audit_log.h"
+
+namespace dbfa {
+
+struct BackdateFinding {
+  uint64_t seq = 0;
+  int64_t timestamp = 0;
+  std::string sql;
+  std::string reason;
+
+  std::string ToString() const;
+};
+
+struct TimelineReport {
+  std::vector<BackdateFinding> findings;
+  size_t inserts_matched = 0;  // logged INSERTs located in storage
+
+  bool Consistent() const { return findings.empty(); }
+  std::string ToString() const;
+};
+
+class LogEventAnalyzer {
+ public:
+  LogEventAnalyzer(const CarveResult* disk, const AuditLog* log)
+      : disk_(disk), log_(log) {}
+
+  Result<TimelineReport> Analyze() const;
+
+ private:
+  const CarveResult* disk_;
+  const AuditLog* log_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_TIMELINE_LOG_EVENT_ANALYZER_H_

@@ -1,0 +1,369 @@
+#include "workload/ssbm.h"
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace dbfa {
+namespace {
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+
+/// Five nations per region; AMERICA includes UNITED STATES and EUROPE
+/// includes UNITED KINGDOM so the Q3/Q4 constants select real rows.
+const char* kNations[5][5] = {
+    {"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"},
+    {"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"},
+    {"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"},
+    {"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"},
+    {"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"}};
+
+/// SSBM-style city: first 9 characters of the nation (padded) + digit.
+std::string CityOf(const std::string& nation, int i) {
+  std::string base = nation;
+  base.resize(9, ' ');
+  return base + std::to_string(i % 10);
+}
+
+const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                         "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+struct DateRow {
+  int64_t datekey;
+  int year;
+  int month;  // 1-12
+  int week;
+};
+
+std::vector<DateRow> GenerateDates(int days) {
+  std::vector<DateRow> out;
+  int year = 1992;
+  int month = 1;
+  int day = 1;
+  int day_of_year = 1;
+  for (int i = 0; i < days; ++i) {
+    DateRow d;
+    d.datekey = year * 10000 + month * 100 + day;
+    d.year = year;
+    d.month = month;
+    d.week = (day_of_year - 1) / 7 + 1;
+    out.push_back(d);
+    ++day;
+    ++day_of_year;
+    static const int kDays[12] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+    if (day > kDays[month - 1]) {
+      day = 1;
+      ++month;
+      if (month > 12) {
+        month = 1;
+        ++year;
+        day_of_year = 1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TableSchema SsbmDateSchema() {
+  TableSchema s;
+  s.name = "date";
+  s.columns = {{"d_datekey", ColumnType::kInt, 0, false},
+               {"d_year", ColumnType::kInt, 0, false},
+               {"d_yearmonthnum", ColumnType::kInt, 0, false},
+               {"d_yearmonth", ColumnType::kVarchar, 7, false},
+               {"d_month", ColumnType::kInt, 0, false},
+               {"d_weeknuminyear", ColumnType::kInt, 0, false}};
+  s.primary_key = {"d_datekey"};
+  return s;
+}
+
+TableSchema SsbmCustomerSchema() {
+  TableSchema s;
+  s.name = "customer";
+  s.columns = {{"c_custkey", ColumnType::kInt, 0, false},
+               {"c_name", ColumnType::kVarchar, 25, false},
+               {"c_city", ColumnType::kVarchar, 10, false},
+               {"c_nation", ColumnType::kVarchar, 15, false},
+               {"c_region", ColumnType::kVarchar, 12, false}};
+  s.primary_key = {"c_custkey"};
+  return s;
+}
+
+TableSchema SsbmSupplierSchema() {
+  TableSchema s;
+  s.name = "supplier";
+  s.columns = {{"s_suppkey", ColumnType::kInt, 0, false},
+               {"s_name", ColumnType::kVarchar, 25, false},
+               {"s_city", ColumnType::kVarchar, 10, false},
+               {"s_nation", ColumnType::kVarchar, 15, false},
+               {"s_region", ColumnType::kVarchar, 12, false}};
+  s.primary_key = {"s_suppkey"};
+  return s;
+}
+
+TableSchema SsbmPartSchema() {
+  TableSchema s;
+  s.name = "part";
+  s.columns = {{"p_partkey", ColumnType::kInt, 0, false},
+               {"p_name", ColumnType::kVarchar, 22, false},
+               {"p_mfgr", ColumnType::kVarchar, 6, false},
+               {"p_category", ColumnType::kVarchar, 7, false},
+               {"p_brand1", ColumnType::kVarchar, 9, false}};
+  s.primary_key = {"p_partkey"};
+  return s;
+}
+
+TableSchema SsbmLineorderSchema() {
+  TableSchema s;
+  s.name = "lineorder";
+  s.columns = {{"lo_orderkey", ColumnType::kInt, 0, false},
+               {"lo_linenumber", ColumnType::kInt, 0, false},
+               {"lo_custkey", ColumnType::kInt, 0, false},
+               {"lo_partkey", ColumnType::kInt, 0, false},
+               {"lo_suppkey", ColumnType::kInt, 0, false},
+               {"lo_orderdate", ColumnType::kInt, 0, false},
+               {"lo_quantity", ColumnType::kInt, 0, false},
+               {"lo_extendedprice", ColumnType::kInt, 0, false},
+               {"lo_discount", ColumnType::kInt, 0, false},
+               {"lo_revenue", ColumnType::kInt, 0, false},
+               {"lo_supplycost", ColumnType::kInt, 0, false},
+               {"lo_shipmode", ColumnType::kVarchar, 10, true}};
+  s.primary_key = {"lo_orderkey", "lo_linenumber"};
+  s.foreign_keys = {{"lo_custkey", "customer", "c_custkey"},
+                    {"lo_partkey", "part", "p_partkey"},
+                    {"lo_suppkey", "supplier", "s_suppkey"},
+                    {"lo_orderdate", "date", "d_datekey"}};
+  return s;
+}
+
+Status LoadSsbm(Database* db, const SsbmConfig& config) {
+  Rng rng(config.seed);
+  DBFA_RETURN_IF_ERROR(db->CreateTable(SsbmDateSchema()));
+  DBFA_RETURN_IF_ERROR(db->CreateTable(SsbmCustomerSchema()));
+  DBFA_RETURN_IF_ERROR(db->CreateTable(SsbmSupplierSchema()));
+  DBFA_RETURN_IF_ERROR(db->CreateTable(SsbmPartSchema()));
+  DBFA_RETURN_IF_ERROR(db->CreateTable(SsbmLineorderSchema()));
+
+  std::vector<DateRow> dates = GenerateDates(config.date_days);
+  for (const DateRow& d : dates) {
+    std::string yearmonth =
+        StrFormat("%s%d", kMonths[d.month - 1], d.year);
+    DBFA_RETURN_IF_ERROR(
+        db->Insert("date", {Value::Int(d.datekey), Value::Int(d.year),
+                            Value::Int(d.year * 100 + d.month),
+                            Value::Str(yearmonth), Value::Int(d.month),
+                            Value::Int(d.week)})
+            .status());
+  }
+  auto geo = [&](int i) {
+    int region = i % 5;
+    int nation = (i / 5) % 5;
+    return std::make_tuple(std::string(kRegions[region]),
+                           std::string(kNations[region][nation]));
+  };
+  for (int i = 1; i <= config.customers; ++i) {
+    auto [region, nation] = geo(i);
+    DBFA_RETURN_IF_ERROR(
+        db->Insert("customer",
+                   {Value::Int(i), Value::Str(StrFormat("Customer#%06d", i)),
+                    Value::Str(CityOf(nation, i)), Value::Str(nation),
+                    Value::Str(region)})
+            .status());
+  }
+  for (int i = 1; i <= config.suppliers; ++i) {
+    auto [region, nation] = geo(i * 3 + 1);
+    DBFA_RETURN_IF_ERROR(
+        db->Insert("supplier",
+                   {Value::Int(i), Value::Str(StrFormat("Supplier#%06d", i)),
+                    Value::Str(CityOf(nation, i)), Value::Str(nation),
+                    Value::Str(region)})
+            .status());
+  }
+  for (int i = 1; i <= config.parts; ++i) {
+    int mfgr = i % 5 + 1;
+    int category = i % 5 + 1;
+    int brand = i % 40 + 1;
+    DBFA_RETURN_IF_ERROR(
+        db->Insert("part",
+                   {Value::Int(i), Value::Str(StrFormat("Part %d", i)),
+                    Value::Str(StrFormat("MFGR#%d", mfgr)),
+                    Value::Str(StrFormat("MFGR#%d%d", mfgr, category)),
+                    Value::Str(StrFormat("MFGR#%d%d%02d", mfgr, category,
+                                         brand))})
+            .status());
+  }
+  static const char* kShipModes[] = {"AIR",  "SHIP", "TRUCK", "RAIL",
+                                     "MAIL", "FOB",  "REG AIR"};
+  for (int i = 1; i <= config.lineorders; ++i) {
+    int64_t datekey = dates[rng.NextU64() % dates.size()].datekey;
+    int64_t quantity = rng.Uniform(1, 50);
+    int64_t price = rng.Uniform(100, 10000);
+    int64_t discount = rng.Uniform(0, 10);
+    DBFA_RETURN_IF_ERROR(
+        db->Insert(
+              "lineorder",
+              {Value::Int(i), Value::Int(rng.Uniform(1, 7)),
+               Value::Int(rng.Uniform(1, config.customers)),
+               Value::Int(rng.Uniform(1, config.parts)),
+               Value::Int(rng.Uniform(1, config.suppliers)),
+               Value::Int(datekey), Value::Int(quantity), Value::Int(price),
+               Value::Int(discount),
+               Value::Int(price * quantity * (100 - discount) / 100),
+               Value::Int(price * 6 / 10),
+               Value::Str(kShipModes[rng.NextU64() % 7])})
+            .status());
+  }
+  return Status::Ok();
+}
+
+const std::vector<std::string>& SsbmQueryIds() {
+  static const std::vector<std::string>& ids = *new std::vector<std::string>{
+      "Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3", "Q3.1",
+      "Q3.2", "Q3.3", "Q3.4", "Q4.1", "Q4.2", "Q4.3"};
+  return ids;
+}
+
+Result<std::string> SsbmQuerySql(const std::string& query_id) {
+  if (query_id == "Q1.1") {
+    return std::string(
+        "SELECT SUM(lo_extendedprice * lo_discount) AS revenue "
+        "FROM lineorder JOIN date ON lo_orderdate = d_datekey "
+        "WHERE d_year = 1993 AND lo_discount BETWEEN 1 AND 3 AND "
+        "lo_quantity < 25");
+  }
+  if (query_id == "Q1.2") {
+    return std::string(
+        "SELECT SUM(lo_extendedprice * lo_discount) AS revenue "
+        "FROM lineorder JOIN date ON lo_orderdate = d_datekey "
+        "WHERE d_yearmonthnum = 199301 AND lo_discount BETWEEN 4 AND 6 AND "
+        "lo_quantity BETWEEN 26 AND 35");
+  }
+  if (query_id == "Q1.3") {
+    return std::string(
+        "SELECT SUM(lo_extendedprice * lo_discount) AS revenue "
+        "FROM lineorder JOIN date ON lo_orderdate = d_datekey "
+        "WHERE d_weeknuminyear = 6 AND d_year = 1993 AND "
+        "lo_discount BETWEEN 5 AND 7 AND lo_quantity BETWEEN 26 AND 35");
+  }
+  if (query_id == "Q2.1") {
+    return std::string(
+        "SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1 "
+        "FROM lineorder JOIN date ON lo_orderdate = d_datekey "
+        "JOIN part ON lo_partkey = p_partkey "
+        "JOIN supplier ON lo_suppkey = s_suppkey "
+        "WHERE p_category = 'MFGR#12' AND s_region = 'AMERICA' "
+        "GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1");
+  }
+  if (query_id == "Q2.2") {
+    return std::string(
+        "SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1 "
+        "FROM lineorder JOIN date ON lo_orderdate = d_datekey "
+        "JOIN part ON lo_partkey = p_partkey "
+        "JOIN supplier ON lo_suppkey = s_suppkey "
+        "WHERE p_brand1 BETWEEN 'MFGR#221' AND 'MFGR#2228' AND "
+        "s_region = 'ASIA' GROUP BY d_year, p_brand1 "
+        "ORDER BY d_year, p_brand1");
+  }
+  if (query_id == "Q2.3") {
+    return std::string(
+        "SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1 "
+        "FROM lineorder JOIN date ON lo_orderdate = d_datekey "
+        "JOIN part ON lo_partkey = p_partkey "
+        "JOIN supplier ON lo_suppkey = s_suppkey "
+        "WHERE p_brand1 = 'MFGR#2214' AND s_region = 'EUROPE' "
+        "GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1");
+  }
+  if (query_id == "Q3.1") {
+    return std::string(
+        "SELECT c_nation, s_nation, d_year, SUM(lo_revenue) AS revenue "
+        "FROM lineorder JOIN customer ON lo_custkey = c_custkey "
+        "JOIN supplier ON lo_suppkey = s_suppkey "
+        "JOIN date ON lo_orderdate = d_datekey "
+        "WHERE c_region = 'ASIA' AND s_region = 'ASIA' AND "
+        "d_year BETWEEN 1992 AND 1997 "
+        "GROUP BY c_nation, s_nation, d_year "
+        "ORDER BY d_year, revenue DESC");
+  }
+  if (query_id == "Q3.2") {
+    return std::string(
+        "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue "
+        "FROM lineorder JOIN customer ON lo_custkey = c_custkey "
+        "JOIN supplier ON lo_suppkey = s_suppkey "
+        "JOIN date ON lo_orderdate = d_datekey "
+        "WHERE c_nation = 'UNITED STATES' AND s_nation = 'UNITED STATES' "
+        "AND d_year BETWEEN 1992 AND 1997 "
+        "GROUP BY c_city, s_city, d_year ORDER BY d_year, revenue DESC");
+  }
+  if (query_id == "Q3.3") {
+    return std::string(
+        "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue "
+        "FROM lineorder JOIN customer ON lo_custkey = c_custkey "
+        "JOIN supplier ON lo_suppkey = s_suppkey "
+        "JOIN date ON lo_orderdate = d_datekey "
+        "WHERE c_city IN ('UNITED ST1', 'UNITED ST5') AND "
+        "s_city IN ('UNITED ST1', 'UNITED ST5') AND "
+        "d_year BETWEEN 1992 AND 1997 "
+        "GROUP BY c_city, s_city, d_year ORDER BY d_year, revenue DESC");
+  }
+  if (query_id == "Q3.4") {
+    return std::string(
+        "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue "
+        "FROM lineorder JOIN customer ON lo_custkey = c_custkey "
+        "JOIN supplier ON lo_suppkey = s_suppkey "
+        "JOIN date ON lo_orderdate = d_datekey "
+        "WHERE c_region = 'AMERICA' AND s_region = 'AMERICA' AND "
+        "d_yearmonth = 'Dec1993' "
+        "GROUP BY c_city, s_city, d_year ORDER BY d_year, revenue DESC");
+  }
+  if (query_id == "Q4.1") {
+    return std::string(
+        "SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit "
+        "FROM lineorder JOIN customer ON lo_custkey = c_custkey "
+        "JOIN supplier ON lo_suppkey = s_suppkey "
+        "JOIN part ON lo_partkey = p_partkey "
+        "JOIN date ON lo_orderdate = d_datekey "
+        "WHERE c_region = 'AMERICA' AND s_region = 'AMERICA' AND "
+        "(p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2') "
+        "GROUP BY d_year, c_nation ORDER BY d_year, c_nation");
+  }
+  if (query_id == "Q4.2") {
+    return std::string(
+        "SELECT d_year, s_nation, p_category, "
+        "SUM(lo_revenue - lo_supplycost) AS profit "
+        "FROM lineorder JOIN customer ON lo_custkey = c_custkey "
+        "JOIN supplier ON lo_suppkey = s_suppkey "
+        "JOIN part ON lo_partkey = p_partkey "
+        "JOIN date ON lo_orderdate = d_datekey "
+        "WHERE c_region = 'AMERICA' AND s_region = 'AMERICA' AND "
+        "d_year IN (1992, 1993) AND "
+        "(p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2') "
+        "GROUP BY d_year, s_nation, p_category "
+        "ORDER BY d_year, s_nation, p_category");
+  }
+  if (query_id == "Q4.3") {
+    return std::string(
+        "SELECT d_year, s_city, p_brand1, "
+        "SUM(lo_revenue - lo_supplycost) AS profit "
+        "FROM lineorder JOIN customer ON lo_custkey = c_custkey "
+        "JOIN supplier ON lo_suppkey = s_suppkey "
+        "JOIN part ON lo_partkey = p_partkey "
+        "JOIN date ON lo_orderdate = d_datekey "
+        "WHERE s_nation = 'UNITED STATES' AND d_year IN (1992, 1993) AND "
+        "p_category = 'MFGR#14' "
+        "GROUP BY d_year, s_city, p_brand1 "
+        "ORDER BY d_year, s_city, p_brand1");
+  }
+  return Status::NotFound("unknown SSBM query: " + query_id);
+}
+
+Result<QueryTable> RunSsbmQuery(Database* db, const std::string& query_id) {
+  DBFA_ASSIGN_OR_RETURN(std::string sql, SsbmQuerySql(query_id));
+  MetaQuerySession session;
+  DBFA_RETURN_IF_ERROR(session.RegisterDatabase(db));
+  return session.Query(sql);
+}
+
+}  // namespace dbfa

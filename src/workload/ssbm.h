@@ -1,0 +1,48 @@
+// Star Schema Benchmark (SSBM) workload — the dataset of the paper's
+// steganography evaluation (Figure 3). Scaled-down generator with the
+// full dimensional structure (DATE, CUSTOMER, SUPPLIER, PART, LINEORDER
+// with composite PK and four FKs) plus the 13 SSBM queries expressed in
+// the meta-query SQL subset. Every query joins at least one dimension,
+// which is precisely what hides constraint-violating records.
+#ifndef DBFA_WORKLOAD_SSBM_H_
+#define DBFA_WORKLOAD_SSBM_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "metaquery/session.h"
+
+namespace dbfa {
+
+struct SsbmConfig {
+  int customers = 200;
+  int suppliers = 40;
+  int parts = 120;
+  int date_days = 700;  // spread over years starting 1992
+  int lineorders = 1500;
+  uint64_t seed = 20180417;
+};
+
+/// Schemas for the five SSBM tables.
+TableSchema SsbmDateSchema();
+TableSchema SsbmCustomerSchema();
+TableSchema SsbmSupplierSchema();
+TableSchema SsbmPartSchema();
+TableSchema SsbmLineorderSchema();
+
+/// Creates all five tables and loads generated data.
+Status LoadSsbm(Database* db, const SsbmConfig& config);
+
+/// SSBM query ids in flight order: "Q1.1" ... "Q4.3".
+const std::vector<std::string>& SsbmQueryIds();
+
+/// SQL text of one SSBM query (meta-query dialect).
+Result<std::string> SsbmQuerySql(const std::string& query_id);
+
+/// Runs one query through a meta-query session over the live tables.
+Result<QueryTable> RunSsbmQuery(Database* db, const std::string& query_id);
+
+}  // namespace dbfa
+
+#endif  // DBFA_WORKLOAD_SSBM_H_

@@ -1,0 +1,210 @@
+// B-Tree tests, parameterized over all dialects (index page formats and
+// pointer encodings differ per dialect).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "engine/btree.h"
+#include "storage/dialects.h"
+
+namespace dbfa {
+namespace {
+
+class BTreeTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  BTreeTest()
+      : params_(GetDialect(GetParam()).value()), pager_(params_, 64) {
+    object_id_ = pager_.CreateObject();
+    tree_ = std::make_unique<BTree>(&pager_, object_id_, "idx",
+                                    std::vector<int>{0});
+    EXPECT_TRUE(tree_->Create().ok());
+  }
+
+  PageLayoutParams params_;
+  Pager pager_;
+  uint32_t object_id_ = 0;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_P(BTreeTest, InsertAndSearchSingle) {
+  ASSERT_TRUE(tree_->Insert({Value::Int(42)}, RowPointer{7, 3}).ok());
+  auto hits = tree_->SearchEqual({Value::Int(42)});
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0], (RowPointer{7, 3}));
+  auto miss = tree_->SearchEqual({Value::Int(43)});
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->empty());
+}
+
+TEST_P(BTreeTest, ManyKeysWithSplitsAllFindable) {
+  // Insert enough entries to force multi-level splits in every dialect
+  // (4 KiB pages hold ~150 entries per leaf).
+  const int kN = 3000;
+  Rng rng(123);
+  std::vector<int> keys(kN);
+  for (int i = 0; i < kN; ++i) keys[i] = i;
+  // Shuffle to stress non-sequential insertion.
+  for (int i = kN - 1; i > 0; --i) {
+    std::swap(keys[i], keys[rng.NextU64() % (i + 1)]);
+  }
+  for (int k : keys) {
+    ASSERT_TRUE(tree_->Insert({Value::Int(k)},
+                              RowPointer{static_cast<uint32_t>(k + 1),
+                                         static_cast<uint16_t>(k % 100)})
+                    .ok())
+        << "key " << k;
+  }
+  for (int k = 0; k < kN; k += 97) {
+    auto hits = tree_->SearchEqual({Value::Int(k)});
+    ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+    ASSERT_EQ(hits->size(), 1u) << "key " << k;
+    EXPECT_EQ((*hits)[0].page_id, static_cast<uint32_t>(k + 1));
+  }
+  // The tree must have split beyond one page.
+  auto pages = tree_->ReachablePages();
+  ASSERT_TRUE(pages.ok());
+  EXPECT_GT(pages->size(), 2u);
+}
+
+TEST_P(BTreeTest, DuplicateKeysAllReturned) {
+  for (uint32_t i = 1; i <= 500; ++i) {
+    ASSERT_TRUE(tree_->Insert({Value::Int(7)}, RowPointer{i, 0}).ok());
+    ASSERT_TRUE(
+        tree_->Insert({Value::Int(static_cast<int64_t>(i) + 100)},
+                      RowPointer{i, 1})
+            .ok());
+  }
+  auto hits = tree_->SearchEqual({Value::Int(7)});
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 500u);
+  std::set<uint32_t> pages;
+  for (RowPointer p : *hits) pages.insert(p.page_id);
+  EXPECT_EQ(pages.size(), 500u) << "every duplicate must be distinct";
+}
+
+TEST_P(BTreeTest, RangeScanLeadingColumn) {
+  for (int k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree_->Insert({Value::Int(k)},
+                              RowPointer{static_cast<uint32_t>(k + 1), 0})
+                    .ok());
+  }
+  auto range =
+      tree_->SearchRangeLeading(Value::Int(100), Value::Int(199));
+  ASSERT_TRUE(range.ok());
+  ASSERT_EQ(range->size(), 100u);
+  for (size_t i = 0; i < range->size(); ++i) {
+    EXPECT_EQ((*range)[i].keys[0], Value::Int(100 + static_cast<int>(i)))
+        << "range results must be key-ordered";
+  }
+  auto open_lo = tree_->SearchRangeLeading(std::nullopt, Value::Int(9));
+  ASSERT_TRUE(open_lo.ok());
+  EXPECT_EQ(open_lo->size(), 10u);
+  auto open_hi = tree_->SearchRangeLeading(Value::Int(995), std::nullopt);
+  ASSERT_TRUE(open_hi.ok());
+  EXPECT_EQ(open_hi->size(), 5u);
+}
+
+TEST_P(BTreeTest, StringAndCompositeKeys) {
+  BTree tree(&pager_, pager_.CreateObject(), "idx2", {0, 1});
+  ASSERT_TRUE(tree.Create().ok());
+  ASSERT_TRUE(
+      tree.Insert({Value::Str("alpha"), Value::Int(1)}, RowPointer{1, 0})
+          .ok());
+  ASSERT_TRUE(
+      tree.Insert({Value::Str("alpha"), Value::Int(2)}, RowPointer{2, 0})
+          .ok());
+  ASSERT_TRUE(
+      tree.Insert({Value::Str("beta"), Value::Int(1)}, RowPointer{3, 0})
+          .ok());
+  auto hits = tree.SearchEqual({Value::Str("alpha"), Value::Int(2)});
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].page_id, 2u);
+}
+
+TEST_P(BTreeTest, AllNullKeysSkipped) {
+  ASSERT_TRUE(tree_->Insert({Value::Null()}, RowPointer{1, 0}).ok());
+  auto all = tree_->SearchRangeLeading(std::nullopt, std::nullopt);
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->empty()) << "all-NULL keys must not be indexed";
+  // Partially-null composite keys ARE indexed.
+  BTree tree(&pager_, pager_.CreateObject(), "idx3", {0, 1});
+  ASSERT_TRUE(tree.Create().ok());
+  ASSERT_TRUE(
+      tree.Insert({Value::Int(5), Value::Null()}, RowPointer{9, 0}).ok());
+  auto hits = tree.SearchEqual({Value::Int(5), Value::Null()});
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST_P(BTreeTest, RebuildFromHeapDropsStaleEntriesAndOrphansPages) {
+  // Build a heap with 300 rows, delete half, attach entries for all.
+  uint32_t heap_object = pager_.CreateObject();
+  TableSchema schema;
+  schema.name = "t";
+  schema.columns = {{"k", ColumnType::kInt, 0, false},
+                    {"v", ColumnType::kVarchar, 32, true}};
+  TableHeap heap(&pager_, heap_object, schema, 2.0);
+  ASSERT_TRUE(heap.EnsureInitialized().ok());
+  BTree tree(&pager_, pager_.CreateObject(), "idx4", {0});
+  ASSERT_TRUE(tree.Create().ok());
+  std::vector<RowPointer> ptrs;
+  for (int k = 0; k < 300; ++k) {
+    auto ptr = heap.Insert({Value::Int(k), Value::Str("v" + std::to_string(k))},
+                           k + 1);
+    ASSERT_TRUE(ptr.ok());
+    ASSERT_TRUE(tree.Insert({Value::Int(k)}, *ptr).ok());
+    ptrs.push_back(*ptr);
+  }
+  for (int k = 0; k < 300; k += 2) {
+    ASSERT_TRUE(heap.Delete(ptrs[k]).ok());
+  }
+  // Before rebuild: stale entries still present (deleted values artifact).
+  auto before = tree.SearchEqual({Value::Int(10)});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->size(), 1u);
+
+  uint32_t old_root = tree.root();
+  ASSERT_TRUE(tree.Rebuild(&heap).ok());
+  EXPECT_NE(tree.root(), old_root) << "rebuild must produce new pages";
+
+  auto gone = tree.SearchEqual({Value::Int(10)});
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE(gone->empty()) << "deleted record's entry dropped by rebuild";
+  auto kept = tree.SearchEqual({Value::Int(11)});
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->size(), 1u);
+
+  // Old pages persist in the file (carvable), but are unreachable.
+  auto reachable = tree.ReachablePages();
+  ASSERT_TRUE(reachable.ok());
+  std::set<uint32_t> reach(reachable->begin(), reachable->end());
+  EXPECT_EQ(reach.count(old_root), 0u);
+  EXPECT_TRUE(pager_.file(tree.object_id())->Contains(old_root));
+}
+
+TEST_P(BTreeTest, RebuildEmptyHeapYieldsEmptyRoot) {
+  uint32_t heap_object = pager_.CreateObject();
+  TableSchema schema;
+  schema.name = "t";
+  schema.columns = {{"k", ColumnType::kInt, 0, false}};
+  TableHeap heap(&pager_, heap_object, schema, 2.0);
+  ASSERT_TRUE(heap.EnsureInitialized().ok());
+  ASSERT_TRUE(tree_->Rebuild(&heap).ok());
+  EXPECT_NE(tree_->root(), 0u);
+  auto all = tree_->SearchRangeLeading(std::nullopt, std::nullopt);
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDialects, BTreeTest, ::testing::ValuesIn(BuiltinDialectNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace dbfa

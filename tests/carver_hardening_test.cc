@@ -1,0 +1,174 @@
+// Carver hardening: hostile/degenerate inputs and option behaviours.
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "core/carver.h"
+#include "engine/database.h"
+#include "storage/dialects.h"
+#include "storage/disk_image.h"
+#include "workload/synthetic.h"
+
+namespace dbfa {
+namespace {
+
+CarverConfig ConfigFor(const std::string& dialect) {
+  CarverConfig config;
+  config.params = GetDialect(dialect).value();
+  return config;
+}
+
+std::unique_ptr<Database> SmallDb(const std::string& dialect) {
+  DatabaseOptions options;
+  options.dialect = dialect;
+  auto db = Database::Open(options).value();
+  SyntheticWorkload workload(db.get(), "Accounts", 3);
+  EXPECT_TRUE(workload.Setup(120).ok());
+  EXPECT_TRUE(
+      db->ExecuteSql("DELETE FROM Accounts WHERE Id <= 20").ok());
+  return db;
+}
+
+TEST(CarverHardeningTest, UnalignedPagesFoundWithByteScan) {
+  auto db = SmallDb("sqlite_like");
+  Bytes image = db->SnapshotDisk().value();
+  // Prefix with 100 bytes (not sector aligned) — default 512-step misses
+  // everything, exhaustive scan_step=1 recovers it all.
+  Bytes shifted(100, 0xEE);
+  shifted.insert(shifted.end(), image.begin(), image.end());
+
+  Carver default_carver(ConfigFor("sqlite_like"));
+  auto missed = default_carver.Carve(shifted);
+  ASSERT_TRUE(missed.ok());
+  EXPECT_TRUE(missed->pages.empty());
+
+  CarveOptions exhaustive;
+  exhaustive.scan_step = 1;
+  Carver byte_carver(ConfigFor("sqlite_like"), exhaustive);
+  auto found = byte_carver.Carve(shifted);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->pages.size(), image.size() / 4096);
+  EXPECT_EQ(found->RecordsForTable("Accounts", RowStatus::kDeleted).size(),
+            20u);
+}
+
+TEST(CarverHardeningTest, TruncatedTrailingPageIsSkippedGracefully) {
+  auto db = SmallDb("postgres_like");
+  Bytes image = db->SnapshotDisk().value();
+  size_t full_pages = image.size() / 8192;
+  image.resize(image.size() - 1000);  // chop into the last page
+  Carver carver(ConfigFor("postgres_like"));
+  auto result = carver.Carve(image);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pages.size(), full_pages - 1);
+}
+
+TEST(CarverHardeningTest, BadChecksumPagesCanBeExcluded) {
+  auto db = SmallDb("mysql_like");
+  Bytes image = db->SnapshotDisk().value();
+  // Corrupt one byte inside the first Accounts data page's record area.
+  Carver carver(ConfigFor("mysql_like"));
+  auto pre = carver.Carve(image).value();
+  uint32_t accounts = pre.ObjectIdByName("Accounts");
+  size_t victim_offset = 0;
+  for (const CarvedPage& p : pre.pages) {
+    if (p.object_id == accounts && p.type == PageType::kData) {
+      victim_offset = p.image_offset;
+      break;
+    }
+  }
+  image[victim_offset + 8000] ^= 0x01;
+
+  auto lenient = carver.Carve(image).value();
+  size_t bad = 0;
+  for (const CarvedPage& p : lenient.pages) {
+    if (!p.checksum_ok) ++bad;
+  }
+  EXPECT_EQ(bad, 1u);
+
+  CarveOptions strict;
+  strict.parse_bad_checksum_pages = false;
+  Carver strict_carver(ConfigFor("mysql_like"), strict);
+  auto excluded = strict_carver.Carve(image).value();
+  EXPECT_LT(excluded.records.size(), lenient.records.size())
+      << "strict mode must not parse the damaged page's records";
+}
+
+TEST(CarverHardeningTest, RawScanFallbackRecoversSlotSmashedRecords) {
+  auto db = SmallDb("postgres_like");
+  Bytes image = db->SnapshotDisk().value();
+  const PageLayoutParams& params = db->params();
+  Carver carver(ConfigFor("postgres_like"));
+  auto pre = carver.Carve(image).value();
+  uint32_t accounts = pre.ObjectIdByName("Accounts");
+  // Smash the slot directory (front of the page after the header) of the
+  // first Accounts page: slot-referenced parsing dies, raw scan survives.
+  size_t page_offset = 0;
+  for (const CarvedPage& p : pre.pages) {
+    if (p.object_id == accounts && p.type == PageType::kData) {
+      page_offset = p.image_offset;
+      break;
+    }
+  }
+  for (size_t i = 0; i < 40; ++i) {
+    image[page_offset + params.header_size + i] = 0xFF;
+  }
+
+  auto with_fallback = carver.Carve(image).value();
+  size_t orphans = 0;
+  for (const CarvedRecord& r : with_fallback.records) {
+    if (r.slot == CarvedRecord::kOrphanSlot) ++orphans;
+  }
+  EXPECT_GE(orphans, 10u) << "raw scan must recover slotless records";
+
+  CarveOptions no_fallback;
+  no_fallback.raw_scan_fallback = false;
+  Carver plain(ConfigFor("postgres_like"), no_fallback);
+  auto without = plain.Carve(image).value();
+  EXPECT_LT(without.records.size(), with_fallback.records.size());
+}
+
+TEST(CarverHardeningTest, StaleDuplicatePagesInRamImages) {
+  // A memory capture can contain an older version of a page that also
+  // exists on disk; both carve independently (the investigator join of
+  // Section II-C scenario 2 relies on exactly this).
+  auto db = SmallDb("oracle_like");
+  Bytes disk = db->SnapshotDisk().value();
+  // Image = disk + a duplicated (stale) copy of its first page.
+  Bytes image = disk;
+  image.insert(image.end(), disk.begin(), disk.begin() + 8192);
+  Carver carver(ConfigFor("oracle_like"));
+  auto result = carver.Carve(image).value();
+  EXPECT_EQ(result.pages.size(), disk.size() / 8192 + 1);
+  // Records from the duplicate page appear twice — by design.
+  size_t page1_records = 0;
+  for (const CarvedRecord& r : result.records) {
+    if (r.object_id == 1 && r.page_id == 1) ++page1_records;
+  }
+  (void)page1_records;  // catalog object; just exercising no-crash paths
+}
+
+TEST(CarverHardeningTest, AllZeroAndAllOnesImages) {
+  Carver carver(ConfigFor("db2_like"));
+  Bytes zeros(64 * 1024, 0x00);
+  Bytes ones(64 * 1024, 0xFF);
+  auto r1 = carver.Carve(zeros);
+  auto r2 = carver.Carve(ones);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r1->pages.empty());
+  EXPECT_TRUE(r2->pages.empty());
+}
+
+TEST(CarverHardeningTest, ForeignDialectImageYieldsNothing) {
+  auto db = SmallDb("mysql_like");
+  Bytes image = db->SnapshotDisk().value();
+  // Carving a mysql_like image with a derby_like config finds nothing
+  // (different magic), rather than garbage.
+  Carver wrong(ConfigFor("derby_like"));
+  auto result = wrong.Carve(image).value();
+  EXPECT_TRUE(result.pages.empty());
+  EXPECT_TRUE(result.records.empty());
+}
+
+}  // namespace
+}  // namespace dbfa

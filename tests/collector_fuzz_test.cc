@@ -1,0 +1,155 @@
+// Collector generalization fuzz: the parameter collector must rediscover
+// *arbitrary* valid page layouts, not just the eight shipped dialects.
+// Each trial generates a random layout (random field placement, byte
+// order, page size, slot scheme, record framing, delete strategy, markers,
+// checksum, pointer format), boots an engine with it, and requires the
+// black-box collector to emit a forensically equivalent configuration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/carver.h"
+#include "core/parameter_collector.h"
+#include "engine/database.h"
+
+namespace dbfa {
+namespace {
+
+/// Allocates `width` bytes at a random unclaimed offset within the header.
+uint16_t PlaceField(Rng* rng, std::set<uint16_t>* taken, uint16_t width,
+                    uint16_t header_size) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    uint16_t offset =
+        static_cast<uint16_t>(rng->Uniform(0, header_size - width));
+    bool free = true;
+    for (uint16_t b = offset; b < offset + width; ++b) {
+      if (taken->count(b) != 0) free = false;
+    }
+    if (!free) continue;
+    for (uint16_t b = offset; b < offset + width; ++b) taken->insert(b);
+    return offset;
+  }
+  ADD_FAILURE() << "could not place a field of width " << width;
+  return 0;
+}
+
+uint8_t DistinctByte(Rng* rng, std::set<uint8_t>* used) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    // Stay clear of 0x00 (padding) so markers are unambiguous.
+    uint8_t b = static_cast<uint8_t>(rng->Uniform(0x11, 0xFE));
+    if (used->insert(b).second) return b;
+  }
+  return 0x5A;
+}
+
+PageLayoutParams RandomLayout(uint64_t seed) {
+  Rng rng(seed);
+  PageLayoutParams p;
+  p.dialect = "fuzz_" + std::to_string(seed);
+  const uint32_t sizes[] = {4096, 8192, 16384};
+  p.page_size = sizes[rng.NextU64() % 3];
+  p.big_endian = rng.Bernoulli(0.5);
+  p.header_size = static_cast<uint16_t>(rng.Uniform(56, 88));
+
+  std::set<uint16_t> taken;
+  // Magic first: 2-4 distinct non-zero bytes at a random offset.
+  size_t magic_len = static_cast<size_t>(rng.Uniform(2, 4));
+  p.magic_offset = PlaceField(&rng, &taken, static_cast<uint16_t>(magic_len),
+                              p.header_size);
+  std::set<uint8_t> used_bytes;
+  p.magic.clear();
+  for (size_t i = 0; i < magic_len; ++i) {
+    p.magic.push_back(DistinctByte(&rng, &used_bytes));
+  }
+  p.page_id_offset = PlaceField(&rng, &taken, 4, p.header_size);
+  p.object_id_offset = PlaceField(&rng, &taken, 4, p.header_size);
+  p.page_type_offset = PlaceField(&rng, &taken, 1, p.header_size);
+  p.record_count_offset = PlaceField(&rng, &taken, 2, p.header_size);
+  p.free_space_offset = PlaceField(&rng, &taken, 2, p.header_size);
+  p.next_page_offset = PlaceField(&rng, &taken, 4, p.header_size);
+  p.lsn_offset = PlaceField(&rng, &taken, 8, p.header_size);
+  const ChecksumKind kinds[] = {ChecksumKind::kNone, ChecksumKind::kCrc32,
+                                ChecksumKind::kFletcher16,
+                                ChecksumKind::kXor8};
+  p.checksum_kind = kinds[rng.NextU64() % 4];
+  p.checksum_offset =
+      p.checksum_kind == ChecksumKind::kNone
+          ? 0
+          : PlaceField(&rng, &taken,
+                       static_cast<uint16_t>(ChecksumWidth(p.checksum_kind)),
+                       p.header_size);
+
+  p.slot_placement = rng.Bernoulli(0.5)
+                         ? SlotPlacement::kFrontSlotsBackData
+                         : SlotPlacement::kBackSlotsFrontData;
+  p.slot_has_length = rng.Bernoulli(0.5);
+  p.stores_row_id = rng.Bernoulli(0.6);
+  p.row_id_varint = p.stores_row_id && rng.Bernoulli(0.4);
+  p.string_mode = rng.Bernoulli(0.5) ? StringMode::kInlineSizes
+                                     : StringMode::kColumnDirectory;
+  // Delete strategy consistent with the record framing.
+  const DeleteStrategy strategies[] = {
+      DeleteStrategy::kRowMarker, DeleteStrategy::kDataMarker,
+      DeleteStrategy::kSlotTombstone, DeleteStrategy::kRowIdentifier};
+  do {
+    p.delete_strategy = strategies[rng.NextU64() % 4];
+  } while (p.delete_strategy == DeleteStrategy::kRowIdentifier &&
+           !p.stores_row_id);
+  p.active_marker = DistinctByte(&rng, &used_bytes);
+  p.deleted_marker = DistinctByte(&rng, &used_bytes);
+  p.data_marker_active = DistinctByte(&rng, &used_bytes);
+  p.data_marker_deleted = DistinctByte(&rng, &used_bytes);
+  p.index_entry_marker = DistinctByte(&rng, &used_bytes);
+  const PointerFormat formats[] = {
+      PointerFormat::kU32PageU16Slot, PointerFormat::kU32PageU16SlotBE,
+      PointerFormat::kVarintPageSlot, PointerFormat::kU48Packed};
+  p.pointer_format = formats[rng.NextU64() % 4];
+  return p;
+}
+
+class CollectorFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectorFuzzTest, RediscoversRandomLayout) {
+  PageLayoutParams layout = RandomLayout(9000 + GetParam());
+  ASSERT_TRUE(layout.Validate().ok());
+
+  DatabaseOptions options;
+  options.custom_params = layout;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  MiniDbBlackBox blackbox(db->get());
+  ParameterCollector collector;
+  auto config = collector.Collect(&blackbox);
+  ASSERT_TRUE(config.ok()) << "seed " << 9000 + GetParam() << ": "
+                           << config.status().ToString();
+
+  CarverConfig truth;
+  truth.params = layout;
+  truth.catalog_object_id = kCatalogObjectId;
+  EXPECT_TRUE(config->ForensicallyEquivalent(truth))
+      << "collected:\n"
+      << ConfigToText(*config) << "\nexpected:\n"
+      << ConfigToText(truth);
+
+  // And the collected config must actually carve this engine's storage.
+  ASSERT_TRUE((*db)->ExecuteSql("CREATE TABLE Fuzz (a INT, b VARCHAR(16), "
+                                "PRIMARY KEY (a))")
+                  .ok());
+  ASSERT_TRUE((*db)
+                  ->ExecuteSql("INSERT INTO Fuzz VALUES (1, 'alpha'), "
+                               "(2, 'beta')")
+                  .ok());
+  ASSERT_TRUE((*db)->ExecuteSql("DELETE FROM Fuzz WHERE a = 1").ok());
+  Carver carver(*config);
+  auto carve = carver.Carve((*db)->SnapshotDisk().value());
+  ASSERT_TRUE(carve.ok());
+  EXPECT_EQ(carve->RecordsForTable("Fuzz", RowStatus::kActive).size(), 1u);
+  EXPECT_EQ(carve->RecordsForTable("Fuzz", RowStatus::kDeleted).size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLayouts, CollectorFuzzTest,
+                         ::testing::Range(0, 32));
+
+}  // namespace
+}  // namespace dbfa

@@ -1,0 +1,423 @@
+// End-to-end MiniDB tests: DDL/DML semantics, forensic storage behaviours
+// (delete marks, update pre-images, catalog remnants), constraint
+// enforcement, audit logging, access-path selection, snapshots.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/database.h"
+#include "sql/parser.h"
+#include "storage/dialects.h"
+
+namespace dbfa {
+namespace {
+
+TableSchema CustomerSchema() {
+  TableSchema s;
+  s.name = "Customer";
+  s.columns = {{"Id", ColumnType::kInt, 0, false},
+               {"Name", ColumnType::kVarchar, 32, true},
+               {"City", ColumnType::kVarchar, 24, true}};
+  s.primary_key = {"Id"};
+  return s;
+}
+
+Record Cust(int64_t id, const std::string& name, const std::string& city) {
+  return {Value::Int(id), Value::Str(name), Value::Str(city)};
+}
+
+std::unique_ptr<Database> OpenDb(const std::string& dialect = "postgres_like") {
+  DatabaseOptions options;
+  options.dialect = dialect;
+  auto db = Database::Open(options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+class DatabaseDialectTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatabaseDialectTest, InsertDeleteKeepsForensicResidue) {
+  auto db = OpenDb(GetParam());
+  ASSERT_TRUE(db->CreateTable(CustomerSchema()).ok());
+  ASSERT_TRUE(db->Insert("Customer", Cust(1, "Christine", "Chicago")).ok());
+  ASSERT_TRUE(db->Insert("Customer", Cust(2, "Jane", "Seattle")).ok());
+  ASSERT_TRUE(db->Insert("Customer", Cust(3, "Jim", "Austin")).ok());
+
+  auto where = sql::ParseExpression("Name = 'Jane'");
+  ASSERT_TRUE(where.ok());
+  auto deleted = db->Delete("Customer", *where);
+  ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+  EXPECT_EQ(*deleted, 1);
+
+  // Active view: 2 rows.
+  int active = 0;
+  int residue = 0;
+  ASSERT_TRUE(db->heap("Customer")
+                  ->ScanRaw([&](RowPointer, const Record& rec, bool del) {
+                    if (del) {
+                      ++residue;
+                      EXPECT_EQ(rec[1], Value::Str("Jane"))
+                          << "deleted values must survive in storage";
+                    } else {
+                      ++active;
+                    }
+                    return Status::Ok();
+                  })
+                  .ok());
+  EXPECT_EQ(active, 2);
+  EXPECT_EQ(residue, 1);
+}
+
+TEST_P(DatabaseDialectTest, UpdateLeavesPreImage) {
+  auto db = OpenDb(GetParam());
+  ASSERT_TRUE(db->CreateTable(CustomerSchema()).ok());
+  ASSERT_TRUE(db->Insert("Customer", Cust(1, "Joe", "Chicago")).ok());
+  auto where = sql::ParseExpression("Id = 1");
+  auto n = db->Update("Customer", {{"City", Value::Str("Boston")}}, *where);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1);
+  bool saw_old = false;
+  bool saw_new = false;
+  ASSERT_TRUE(db->heap("Customer")
+                  ->ScanRaw([&](RowPointer, const Record& rec, bool del) {
+                    if (del && rec[2] == Value::Str("Chicago")) saw_old = true;
+                    if (!del && rec[2] == Value::Str("Boston")) saw_new = true;
+                    return Status::Ok();
+                  })
+                  .ok());
+  EXPECT_TRUE(saw_old) << "old version of an UPDATE must be a deleted record";
+  EXPECT_TRUE(saw_new);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDialects, DatabaseDialectTest,
+    ::testing::ValuesIn(BuiltinDialectNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(DatabaseTest, SelectFullScanAndProjection) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->CreateTable(CustomerSchema()).ok());
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(
+        db->Insert("Customer", Cust(i, "N" + std::to_string(i), "C")).ok());
+  }
+  auto result = db->ExecuteSql("SELECT Name FROM Customer WHERE Id > 7");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->columns, std::vector<std::string>{"Name"});
+  EXPECT_EQ(result->rows.size(), 3u);
+}
+
+TEST(DatabaseTest, SelectUsesPkIndexForEquality) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->CreateTable(CustomerSchema()).ok());
+  for (int i = 1; i <= 500; ++i) {
+    ASSERT_TRUE(db->Insert("Customer", Cust(i, "N", "C")).ok());
+  }
+  auto result = db->ExecuteSql("SELECT * FROM Customer WHERE Id = 123");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::Int(123));
+  EXPECT_EQ(db->last_access_path(), AccessPath::kIndexScan);
+
+  auto scan = db->ExecuteSql("SELECT * FROM Customer WHERE Name = 'N'");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(db->last_access_path(), AccessPath::kFullScan);
+}
+
+TEST(DatabaseTest, SelectRangeViaIndexWithOrderAndLimit) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->CreateTable(CustomerSchema()).ok());
+  for (int i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(db->Insert("Customer", Cust(i, "N", "C")).ok());
+  }
+  auto result = db->ExecuteSql(
+      "SELECT Id FROM Customer WHERE Id BETWEEN 10 AND 50 "
+      "ORDER BY Id DESC LIMIT 3");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(db->last_access_path(), AccessPath::kIndexScan);
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0][0], Value::Int(50));
+  EXPECT_EQ(result->rows[2][0], Value::Int(48));
+}
+
+TEST(DatabaseTest, IndexEntriesSurviveDeleteUntilVacuum) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->CreateTable(CustomerSchema()).ok());
+  for (int i = 1; i <= 50; ++i) {
+    ASSERT_TRUE(db->Insert("Customer", Cust(i, "N", "C")).ok());
+  }
+  auto where = sql::ParseExpression("Id = 25");
+  ASSERT_TRUE(db->Delete("Customer", *where).ok());
+
+  BTree* pk = db->index("Customer", "pk_Customer");
+  ASSERT_NE(pk, nullptr);
+  auto stale = pk->SearchEqual({Value::Int(25)});
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->size(), 1u) << "index entry must outlive the record";
+
+  // But the SQL surface no longer returns the row.
+  auto result = db->ExecuteSql("SELECT * FROM Customer WHERE Id = 25");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+
+  ASSERT_TRUE(db->Vacuum("Customer").ok());
+  pk = db->index("Customer", "pk_Customer");
+  auto after = pk->SearchEqual({Value::Int(25)});
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->empty()) << "vacuum rebuild drops stale entries";
+  // Surviving rows still findable through the rebuilt index.
+  auto kept = db->ExecuteSql("SELECT * FROM Customer WHERE Id = 26");
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->rows.size(), 1u);
+}
+
+TEST(DatabaseTest, VacuumErasesDeletedRecords) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->CreateTable(CustomerSchema()).ok());
+  for (int i = 1; i <= 30; ++i) {
+    ASSERT_TRUE(db->Insert("Customer", Cust(i, "N", "C")).ok());
+  }
+  ASSERT_TRUE(db->Delete("Customer", *sql::ParseExpression("Id <= 15")).ok());
+  int residue_before = 0;
+  ASSERT_TRUE(db->heap("Customer")
+                  ->ScanRaw([&](RowPointer, const Record&, bool del) {
+                    if (del) ++residue_before;
+                    return Status::Ok();
+                  })
+                  .ok());
+  EXPECT_EQ(residue_before, 15);
+  ASSERT_TRUE(db->Vacuum("Customer").ok());
+  int residue_after = 0;
+  int active_after = 0;
+  ASSERT_TRUE(db->heap("Customer")
+                  ->ScanRaw([&](RowPointer, const Record&, bool del) {
+                    del ? ++residue_after : ++active_after;
+                    return Status::Ok();
+                  })
+                  .ok());
+  EXPECT_EQ(residue_after, 0) << "vacuum destroys deleted-record evidence";
+  EXPECT_EQ(active_after, 15);
+}
+
+TEST(DatabaseTest, ConstraintEnforcement) {
+  auto db = OpenDb();
+  TableSchema city;
+  city.name = "City";
+  city.columns = {{"Name", ColumnType::kVarchar, 16, false}};
+  city.primary_key = {"Name"};
+  ASSERT_TRUE(db->CreateTable(city).ok());
+  ASSERT_TRUE(db->Insert("City", {Value::Str("Chicago")}).ok());
+
+  TableSchema s = CustomerSchema();
+  s.foreign_keys = {{"City", "City", "Name"}};
+  ASSERT_TRUE(db->CreateTable(s).ok());
+
+  // Domain constraint: VARCHAR(32) on Name.
+  auto too_long = db->Insert(
+      "Customer", Cust(1, std::string(40, 'x'), "Chicago"));
+  EXPECT_EQ(too_long.status().code(), StatusCode::kInvalidArgument);
+
+  // NOT NULL / PK null.
+  auto null_pk = db->Insert(
+      "Customer", {Value::Null(), Value::Str("A"), Value::Str("Chicago")});
+  EXPECT_FALSE(null_pk.ok());
+
+  // FK violation.
+  auto bad_fk = db->Insert("Customer", Cust(1, "A", "Atlantis"));
+  EXPECT_EQ(bad_fk.status().code(), StatusCode::kInvalidArgument);
+
+  // Happy path, then PK duplicate.
+  ASSERT_TRUE(db->Insert("Customer", Cust(1, "A", "Chicago")).ok());
+  auto dup = db->Insert("Customer", Cust(1, "B", "Chicago"));
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+
+  // PK value freed by delete can be reinserted.
+  ASSERT_TRUE(db->Delete("Customer", *sql::ParseExpression("Id = 1")).ok());
+  EXPECT_TRUE(db->Insert("Customer", Cust(1, "C", "Chicago")).ok());
+}
+
+TEST(DatabaseTest, ConstraintsCanBeDisabled) {
+  DatabaseOptions options;
+  options.enforce_constraints = false;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->CreateTable(CustomerSchema()).ok());
+  EXPECT_TRUE((*db)->Insert("Customer",
+                            Cust(1, std::string(100, 'x'), "C")).ok());
+  EXPECT_TRUE((*db)->Insert("Customer", Cust(1, "dup", "C")).ok());
+}
+
+TEST(DatabaseTest, DropTableLeavesDeletedCatalogRecords) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->CreateTable(CustomerSchema()).ok());
+  ASSERT_TRUE(db->Insert("Customer", Cust(1, "A", "B")).ok());
+  uint32_t table_object = db->catalog().Find("Customer")->object_id;
+  ASSERT_TRUE(db->DropTable("Customer").ok());
+  EXPECT_EQ(db->catalog().Find("Customer"), nullptr);
+  // The table file still exists with its pages (deleted pages artifact).
+  EXPECT_NE(db->pager().file(table_object), nullptr);
+  EXPECT_GT(db->pager().file(table_object)->page_count(), 0u);
+  // A table of the same name can be re-created.
+  EXPECT_TRUE(db->CreateTable(CustomerSchema()).ok());
+}
+
+TEST(DatabaseTest, AuditLogRecordsSqlAndCanBeDisabled) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->CreateTable(CustomerSchema()).ok());
+  ASSERT_TRUE(db->Insert("Customer", Cust(1, "A", "B")).ok());
+  size_t logged = db->audit_log().entries().size();
+  EXPECT_EQ(logged, 2u);  // CREATE TABLE + INSERT
+  EXPECT_NE(db->audit_log().entries()[1].sql.find("INSERT INTO Customer"),
+            std::string::npos);
+
+  // The DBDetective attack: disable logging, act, re-enable.
+  db->audit_log().SetEnabled(false);
+  ASSERT_TRUE(db->Insert("Customer", Cust(2, "Hidden", "X")).ok());
+  db->audit_log().SetEnabled(true);
+  EXPECT_EQ(db->audit_log().entries().size(), logged)
+      << "unlogged activity must leave no log entries";
+  // ... but the row exists in storage.
+  auto rows = db->ExecuteSql("SELECT * FROM Customer");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 2u);
+
+  // Timestamps are monotone under an untampered clock.
+  const auto& entries = db->audit_log().entries();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i].timestamp, entries[i - 1].timestamp);
+  }
+}
+
+TEST(DatabaseTest, AuditLogRoundTripsThroughText) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->CreateTable(CustomerSchema()).ok());
+  ASSERT_TRUE(db->Insert("Customer", Cust(1, "A's", "B|C")).ok());
+  std::string text = db->audit_log().ToText();
+  auto parsed = AuditLog::FromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->entries().size(), db->audit_log().entries().size());
+  for (size_t i = 0; i < parsed->entries().size(); ++i) {
+    EXPECT_EQ(parsed->entries()[i].sql, db->audit_log().entries()[i].sql);
+    // Every logged statement must re-parse.
+    EXPECT_TRUE(sql::ParseStatement(parsed->entries()[i].sql).ok())
+        << parsed->entries()[i].sql;
+  }
+}
+
+TEST(DatabaseTest, ExecuteSqlFullLifecycle) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->ExecuteSql("CREATE TABLE T (a INT NOT NULL, b VARCHAR(8), "
+                             "PRIMARY KEY (a))")
+                  .ok());
+  ASSERT_TRUE(db->ExecuteSql("INSERT INTO T VALUES (1, 'x'), (2, 'y')").ok());
+  ASSERT_TRUE(db->ExecuteSql("UPDATE T SET b = 'z' WHERE a = 2").ok());
+  auto rows = db->ExecuteSql("SELECT b FROM T WHERE a = 2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0], Value::Str("z"));
+  ASSERT_TRUE(db->ExecuteSql("DELETE FROM T WHERE a = 1").ok());
+  ASSERT_TRUE(db->ExecuteSql("VACUUM T").ok());
+  ASSERT_TRUE(db->ExecuteSql("DROP TABLE T").ok());
+  EXPECT_FALSE(db->ExecuteSql("SELECT * FROM T").ok());
+}
+
+TEST(DatabaseTest, SnapshotsAndCheckpoint) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->CreateTable(CustomerSchema()).ok());
+  ASSERT_TRUE(db->Insert("Customer", Cust(1, "SNAPSHOT_ME", "C")).ok());
+  auto disk = db->SnapshotDisk();
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(disk->size() % db->params().page_size, 0u);
+  std::string disk_text(disk->begin(), disk->end());
+  EXPECT_NE(disk_text.find("SNAPSHOT_ME"), std::string::npos);
+
+  Bytes ram = db->SnapshotRam();
+  EXPECT_EQ(ram.size(),
+            db->pager().pool().capacity() * db->params().page_size);
+
+  auto files = db->ExportFiles();
+  ASSERT_TRUE(files.ok());
+  // catalog + Customer heap + pk index.
+  ASSERT_EQ(files->size(), 3u);
+  EXPECT_EQ((*files)[0].first, "catalog.dbf");
+  EXPECT_EQ((*files)[1].first, "Customer.dbf");
+  EXPECT_EQ((*files)[2].first, "Customer.pk_Customer.dbf");
+
+  std::string dir = ::testing::TempDir() + "/dbfa_ckpt";
+  std::string cmd = "mkdir -p " + dir;
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  ASSERT_TRUE(db->Checkpoint(dir).ok());
+  auto log = AuditLog::LoadFrom(dir + "/audit.log");
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->entries().size(), db->audit_log().entries().size());
+}
+
+TEST(DatabaseTest, ManyPagesAndPoolSmallerThanData) {
+  DatabaseOptions options;
+  options.buffer_pool_pages = 8;  // force constant eviction
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->CreateTable(CustomerSchema()).ok());
+  for (int i = 1; i <= 2000; ++i) {
+    ASSERT_TRUE(
+        (*db)->Insert("Customer", Cust(i, "Name" + std::to_string(i), "City"))
+            .ok())
+        << i;
+  }
+  auto rows = (*db)->ExecuteSql("SELECT COUNT(*) FROM Customer");
+  EXPECT_FALSE(rows.ok()) << "aggregates live in metaquery";
+  auto all = (*db)->ExecuteSql("SELECT * FROM Customer WHERE Id > 1990");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->rows.size(), 10u);
+  EXPECT_GT((*db)->pager().pool().stats().evictions, 0u);
+}
+
+TEST(DatabaseTest, PageReusePolicyControlsEvidenceLifetime) {
+  for (double threshold : {0.5, 2.0}) {
+    DatabaseOptions options;
+    options.page_reuse_threshold = threshold;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateTable(CustomerSchema()).ok());
+    // Fill several pages, delete everything, insert again.
+    for (int i = 1; i <= 400; ++i) {
+      ASSERT_TRUE((*db)->Insert("Customer", Cust(i, "AAAA", "BBBB")).ok());
+    }
+    ASSERT_TRUE((*db)->Delete("Customer", nullptr).ok());
+    for (int i = 1000; i < 1400; ++i) {
+      ASSERT_TRUE((*db)->Insert("Customer", Cust(i, "CCCC", "DDDD")).ok());
+    }
+    auto stats = (*db)->heap("Customer")->Stats();
+    if (threshold <= 1.0) {
+      EXPECT_GT(stats.reused_pages, 0u) << "reuse enabled";
+      EXPECT_LT(stats.deleted_records, 400u)
+          << "reuse must overwrite some deleted records";
+    } else {
+      EXPECT_EQ(stats.reused_pages, 0u) << "reuse disabled";
+      EXPECT_EQ(stats.deleted_records, 400u)
+          << "all deleted records must persist";
+    }
+  }
+}
+
+TEST(DatabaseTest, LsnsIncreaseWithModificationOrder) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->CreateTable(CustomerSchema()).ok());
+  uint64_t lsn1 = db->pager().current_lsn();
+  ASSERT_TRUE(db->Insert("Customer", Cust(1, "A", "B")).ok());
+  uint64_t lsn2 = db->pager().current_lsn();
+  EXPECT_GT(lsn2, lsn1);
+  ASSERT_TRUE(db->Insert("Customer", Cust(2, "C", "D")).ok());
+  EXPECT_GT(db->pager().current_lsn(), lsn2);
+}
+
+TEST(DatabaseTest, UnknownDialectRejected) {
+  DatabaseOptions options;
+  options.dialect = "nope";
+  EXPECT_EQ(Database::Open(options).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dbfa

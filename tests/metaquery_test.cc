@@ -1,0 +1,197 @@
+// Meta-query engine tests, including the two scenarios of Section II-C.
+#include <gtest/gtest.h>
+
+#include "core/carver.h"
+#include "metaquery/session.h"
+#include "storage/dialects.h"
+
+namespace dbfa {
+namespace {
+
+std::shared_ptr<Relation> ProductRelation(
+    std::vector<std::tuple<int, std::string, double>> rows) {
+  std::vector<Record> records;
+  for (auto& [pid, name, price] : rows) {
+    records.push_back(
+        {Value::Int(pid), Value::Str(name), Value::Real(price)});
+  }
+  return std::make_shared<VectorRelation>(
+      std::vector<std::string>{"PID", "Name", "Price"}, std::move(records));
+}
+
+TEST(MetaQueryTest, FilterProjectOrderLimit) {
+  MetaQuerySession session;
+  session.Register("Product", ProductRelation({{1, "Ant", 10.0},
+                                               {2, "Bee", 5.0},
+                                               {3, "Cat", 30.0},
+                                               {4, "Dog", 20.0}}));
+  auto result = session.Query(
+      "SELECT Name, Price FROM Product WHERE Price > 6 "
+      "ORDER BY Price DESC LIMIT 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][0], Value::Str("Cat"));
+  EXPECT_EQ(result->rows[1][0], Value::Str("Dog"));
+}
+
+TEST(MetaQueryTest, Scenario2DiskRamJoinFindsUpdatedPrices) {
+  // Section II-C scenario 2: find recent price changes by joining the RAM
+  // carve against the disk carve.
+  MetaQuerySession session;
+  session.Register("CarvDiskProduct", ProductRelation({{1, "Ant", 10.0},
+                                                       {2, "Bee", 5.0},
+                                                       {3, "Cat", 30.0}}));
+  session.Register("CarvRAMProduct", ProductRelation({{1, "Ant", 10.0},
+                                                      {2, "Bee", 9.0},
+                                                      {3, "Cat", 30.0}}));
+  auto result = session.Query(
+      "SELECT M.PID, M.Price, D.Price AS OldPrice "
+      "FROM CarvRAMProduct AS M JOIN CarvDiskProduct AS D ON M.PID = D.PID "
+      "WHERE M.Price <> D.Price");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::Int(2));
+  EXPECT_EQ(result->rows[0][1], Value::Real(9.0));
+  EXPECT_EQ(result->rows[0][2], Value::Real(5.0));
+}
+
+TEST(MetaQueryTest, AggregatesWithGroupBy) {
+  MetaQuerySession session;
+  std::vector<Record> rows;
+  for (int i = 0; i < 30; ++i) {
+    rows.push_back({Value::Int(i % 3), Value::Int(i)});
+  }
+  session.Register("T", std::make_shared<VectorRelation>(
+                            std::vector<std::string>{"g", "v"}, rows));
+  auto result = session.Query(
+      "SELECT g, COUNT(*) AS n, SUM(v) AS total, MIN(v) AS lo, "
+      "MAX(v) AS hi, AVG(v) AS mean FROM T GROUP BY g ORDER BY g");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0][0], Value::Int(0));
+  EXPECT_EQ(result->rows[0][1], Value::Int(10));
+  EXPECT_EQ(result->rows[0][3], Value::Int(0));
+  EXPECT_EQ(result->rows[0][4], Value::Int(27));
+  // SUM of 0,3,...,27 = 135; AVG = 13.5.
+  EXPECT_EQ(result->rows[0][2], Value::Int(135));
+  EXPECT_EQ(result->rows[0][5], Value::Real(13.5));
+}
+
+TEST(MetaQueryTest, AggregateOverEmptyInput) {
+  MetaQuerySession session;
+  session.Register("E", std::make_shared<VectorRelation>(
+                            std::vector<std::string>{"x"},
+                            std::vector<Record>{}));
+  auto result = session.Query("SELECT COUNT(*) AS n, SUM(x) AS s FROM E");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::Int(0));
+  EXPECT_TRUE(result->rows[0][1].is_null());
+}
+
+TEST(MetaQueryTest, ArithmeticInAggregates) {
+  MetaQuerySession session;
+  session.Register("T", std::make_shared<VectorRelation>(
+                            std::vector<std::string>{"a", "b"},
+                            std::vector<Record>{
+                                {Value::Int(2), Value::Int(3)},
+                                {Value::Int(4), Value::Int(5)}}));
+  auto result = session.Query("SELECT SUM(a * b) AS dot FROM T");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0], Value::Int(26));
+}
+
+TEST(MetaQueryTest, MultiWayJoin) {
+  MetaQuerySession session;
+  session.Register("A", std::make_shared<VectorRelation>(
+                            std::vector<std::string>{"id", "bref"},
+                            std::vector<Record>{
+                                {Value::Int(1), Value::Int(10)},
+                                {Value::Int(2), Value::Int(20)}}));
+  session.Register("B", std::make_shared<VectorRelation>(
+                            std::vector<std::string>{"bid", "cref"},
+                            std::vector<Record>{
+                                {Value::Int(10), Value::Int(100)},
+                                {Value::Int(20), Value::Int(200)}}));
+  session.Register("C", std::make_shared<VectorRelation>(
+                            std::vector<std::string>{"cid", "label"},
+                            std::vector<Record>{
+                                {Value::Int(100), Value::Str("x")},
+                                {Value::Int(200), Value::Str("y")}}));
+  auto result = session.Query(
+      "SELECT id, label FROM A JOIN B ON bref = bid JOIN C ON cref = cid "
+      "ORDER BY id");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][1], Value::Str("x"));
+  EXPECT_EQ(result->rows[1][1], Value::Str("y"));
+}
+
+TEST(MetaQueryTest, NullsNeverJoin) {
+  MetaQuerySession session;
+  session.Register("L", std::make_shared<VectorRelation>(
+                            std::vector<std::string>{"k"},
+                            std::vector<Record>{{Value::Null()},
+                                                {Value::Int(1)}}));
+  session.Register("R", std::make_shared<VectorRelation>(
+                            std::vector<std::string>{"k2"},
+                            std::vector<Record>{{Value::Null()},
+                                                {Value::Int(1)}}));
+  auto result = session.Query("SELECT * FROM L JOIN R ON k = k2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 1u) << "NULL keys must not match";
+}
+
+TEST(MetaQueryTest, ErrorsAreClean) {
+  MetaQuerySession session;
+  session.Register("T", ProductRelation({{1, "A", 1.0}}));
+  EXPECT_FALSE(session.Query("SELECT * FROM Nope").ok());
+  EXPECT_FALSE(session.Query("DELETE FROM T").ok());
+  EXPECT_FALSE(session.Query("SELECT nope FROM T").ok());
+  EXPECT_FALSE(session.Query("SELECT * FROM T ORDER BY nope").ok());
+  EXPECT_FALSE(session.Query("SELECT *, COUNT(*) FROM T").ok());
+}
+
+TEST(MetaQueryTest, Scenario1DeletedRowsFromLiveCarve) {
+  // Section II-C scenario 1 end-to-end: carve a real database and select
+  // the delete-marked rows via the RowStatus pseudo-column.
+  DatabaseOptions options;
+  options.dialect = "oracle_like";
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  TableSchema schema;
+  schema.name = "Customer";
+  schema.columns = {{"Id", ColumnType::kInt, 0, false},
+                    {"Name", ColumnType::kVarchar, 32, true}};
+  schema.primary_key = {"Id"};
+  ASSERT_TRUE((*db)->CreateTable(schema).ok());
+  ASSERT_TRUE((*db)
+                  ->ExecuteSql("INSERT INTO Customer VALUES (1, 'Keep'), "
+                               "(2, 'Gone'), (3, 'AlsoGone')")
+                  .ok());
+  ASSERT_TRUE((*db)->ExecuteSql("DELETE FROM Customer WHERE Id > 1").ok());
+  auto image = (*db)->SnapshotDisk();
+  ASSERT_TRUE(image.ok());
+  CarverConfig config;
+  config.params = GetDialect("oracle_like").value();
+  Carver carver(config);
+  auto carve = carver.Carve(*image);
+  ASSERT_TRUE(carve.ok());
+
+  MetaQuerySession session;
+  ASSERT_TRUE(session.RegisterCarve(*carve, "Carv").ok());
+  auto result = session.Query(
+      "SELECT Name FROM CarvCustomer WHERE RowStatus = 'DELETED' "
+      "ORDER BY Name");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][0], Value::Str("AlsoGone"));
+  EXPECT_EQ(result->rows[1][0], Value::Str("Gone"));
+
+  std::string text = result->ToText();
+  EXPECT_NE(text.find("Name"), std::string::npos);
+  EXPECT_NE(text.find("Gone"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbfa

@@ -1,0 +1,113 @@
+// The headline reproduction test: the black-box parameter collector must
+// rediscover every built-in dialect's page-layout parameters from probing
+// alone, and the emitted config must drive a correct carve.
+#include <gtest/gtest.h>
+
+#include "core/carver.h"
+#include "core/parameter_collector.h"
+#include "engine/database.h"
+#include "storage/dialects.h"
+
+namespace dbfa {
+namespace {
+
+class CollectorDialectTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CollectorDialectTest, RediscoversLayoutParameters) {
+  DatabaseOptions options;
+  options.dialect = GetParam();
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  MiniDbBlackBox blackbox(db->get());
+
+  ParameterCollector collector;
+  auto config = collector.Collect(&blackbox);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+
+  CarverConfig truth;
+  truth.params = GetDialect(GetParam()).value();
+  truth.catalog_object_id = kCatalogObjectId;
+  EXPECT_TRUE(config->ForensicallyEquivalent(truth))
+      << "collected:\n"
+      << ConfigToText(*config) << "\nexpected:\n"
+      << ConfigToText(truth);
+}
+
+TEST_P(CollectorDialectTest, CollectedConfigDrivesACorrectCarve) {
+  DatabaseOptions options;
+  options.dialect = GetParam();
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  MiniDbBlackBox blackbox(db->get());
+  ParameterCollector collector;
+  auto config = collector.Collect(&blackbox);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+
+  // New content after collection, including deletions.
+  ASSERT_TRUE((*db)->ExecuteSql("CREATE TABLE Evidence (id INT, what "
+                                "VARCHAR(32), PRIMARY KEY (id))")
+                  .ok());
+  ASSERT_TRUE((*db)->ExecuteSql("INSERT INTO Evidence VALUES "
+                                "(1, 'keep-me'), (2, 'delete-me')")
+                  .ok());
+  ASSERT_TRUE((*db)->ExecuteSql("DELETE FROM Evidence WHERE id = 2").ok());
+
+  auto image = (*db)->SnapshotDisk();
+  ASSERT_TRUE(image.ok());
+  Carver carver(*config);
+  auto result = carver.Carve(*image);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto active = result->RecordsForTable("Evidence", RowStatus::kActive);
+  auto deleted = result->RecordsForTable("Evidence", RowStatus::kDeleted);
+  ASSERT_EQ(active.size(), 1u);
+  ASSERT_EQ(deleted.size(), 1u);
+  EXPECT_EQ(active[0]->values[1], Value::Str("keep-me"));
+  EXPECT_EQ(deleted[0]->values[1], Value::Str("delete-me"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDialects, CollectorDialectTest,
+    ::testing::ValuesIn(BuiltinDialectNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(ConfigIoTest, TextRoundTripForAllDialects) {
+  for (const PageLayoutParams& p : AllDialects()) {
+    CarverConfig config;
+    config.params = p;
+    config.catalog_object_id = 1;
+    std::string text = ConfigToText(config);
+    auto parsed = ConfigFromText(text);
+    ASSERT_TRUE(parsed.ok()) << p.dialect << ": "
+                             << parsed.status().ToString();
+    EXPECT_TRUE(parsed->params == p) << p.dialect;
+    EXPECT_EQ(parsed->catalog_object_id, 1u);
+  }
+}
+
+TEST(ConfigIoTest, FileRoundTrip) {
+  CarverConfig config;
+  config.params = GetDialect("db2_like").value();
+  config.catalog_object_id = 1;
+  std::string path = ::testing::TempDir() + "/dbfa_config_test.conf";
+  ASSERT_TRUE(SaveConfig(path, config).ok());
+  auto loaded = LoadConfig(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->params == config.params);
+}
+
+TEST(ConfigIoTest, RejectsDamagedConfigs) {
+  CarverConfig config;
+  config.params = GetDialect("oracle_like").value();
+  std::string text = ConfigToText(config);
+  EXPECT_FALSE(ConfigFromText("").ok());
+  EXPECT_FALSE(ConfigFromText("dialect = x\n").ok()) << "missing keys";
+  std::string broken = text;
+  size_t pos = broken.find("page_size = 8192");
+  broken.replace(pos, 16, "page_size = 1000");  // not a power of two
+  EXPECT_FALSE(ConfigFromText(broken).ok());
+}
+
+}  // namespace
+}  // namespace dbfa

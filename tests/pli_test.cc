@@ -1,0 +1,108 @@
+// PLI tests: bucket construction, range lookup I/O, clustering factor.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/carver.h"
+#include "pli/pli.h"
+#include "storage/dialects.h"
+
+namespace dbfa {
+namespace {
+
+std::unique_ptr<Database> DbWithEvents(int rows, bool clustered,
+                                       uint64_t seed = 99) {
+  auto db = Database::Open(DatabaseOptions{}).value();
+  TableSchema schema;
+  schema.name = "Events";
+  schema.columns = {{"ts", ColumnType::kInt, 0, false},
+                    {"payload", ColumnType::kVarchar, 24, true}};
+  EXPECT_TRUE(db->CreateTable(schema).ok());
+  Rng rng(seed);
+  for (int i = 0; i < rows; ++i) {
+    int64_t ts = clustered ? 1000 + i  // ingest order == value order
+                           : rng.Uniform(1000, 1000 + rows);
+    EXPECT_TRUE(
+        db->Insert("Events", {Value::Int(ts), Value::Str("evt")}).ok());
+  }
+  return db;
+}
+
+TEST(PliTest, ClusteredIngestGivesSelectiveLookups) {
+  auto db = DbWithEvents(3000, /*clustered=*/true);
+  auto pli =
+      PhysicalLocationIndex::BuildFromDatabase(db.get(), "Events", "ts", 2);
+  ASSERT_TRUE(pli.ok()) << pli.status().ToString();
+  EXPECT_GT(pli->buckets().size(), 4u);
+  EXPECT_GT(pli->total_pages(), 8u);
+  EXPECT_EQ(pli->total_rows(), 3000u);
+  EXPECT_DOUBLE_EQ(pli->ClusteringFactor(), 1.0);
+
+  // A narrow range touches a small fraction of pages.
+  auto pages = pli->LookupPages(Value::Int(1100), Value::Int(1150));
+  EXPECT_GT(pages.size(), 0u);
+  EXPECT_LT(pages.size() * 4, pli->total_pages())
+      << "PLI must prune most pages on clustered data";
+}
+
+TEST(PliTest, RandomIngestDegradesToFullScan) {
+  auto db = DbWithEvents(3000, /*clustered=*/false);
+  auto pli =
+      PhysicalLocationIndex::BuildFromDatabase(db.get(), "Events", "ts", 2);
+  ASSERT_TRUE(pli.ok());
+  EXPECT_LT(pli->ClusteringFactor(), 0.85);
+  auto pages = pli->LookupPages(Value::Int(1100), Value::Int(1150));
+  // Random placement: nearly every bucket overlaps any range.
+  EXPECT_GT(pages.size() * 2, pli->total_pages());
+}
+
+TEST(PliTest, LookupIsSound) {
+  // Every row in the range must live on a returned page.
+  auto db = DbWithEvents(2000, /*clustered=*/true);
+  auto pli =
+      PhysicalLocationIndex::BuildFromDatabase(db.get(), "Events", "ts", 3);
+  ASSERT_TRUE(pli.ok());
+  Value lo = Value::Int(1500);
+  Value hi = Value::Int(1700);
+  auto pages = pli->LookupPages(lo, hi);
+  std::set<uint32_t> page_set(pages.begin(), pages.end());
+  ASSERT_TRUE(db->heap("Events")
+                  ->Scan([&](RowPointer ptr, const Record& rec) {
+                    if (Value::Compare(rec[0], lo) >= 0 &&
+                        Value::Compare(rec[0], hi) <= 0) {
+                      EXPECT_EQ(page_set.count(ptr.page_id), 1u)
+                          << "row with ts " << rec[0].ToString()
+                          << " on page " << ptr.page_id << " missed";
+                    }
+                    return Status::Ok();
+                  })
+                  .ok());
+}
+
+TEST(PliTest, BuildsFromCarvedStorage) {
+  auto db = DbWithEvents(1000, /*clustered=*/true);
+  auto image = db->SnapshotDisk();
+  ASSERT_TRUE(image.ok());
+  CarverConfig config;
+  config.params = GetDialect(db->params().dialect).value();
+  Carver carver(config);
+  auto carve = carver.Carve(*image);
+  ASSERT_TRUE(carve.ok());
+  auto pli = PhysicalLocationIndex::Build(*carve, "Events", "ts", 2);
+  ASSERT_TRUE(pli.ok()) << pli.status().ToString();
+  EXPECT_EQ(pli->total_rows(), 1000u);
+  EXPECT_DOUBLE_EQ(pli->ClusteringFactor(), 1.0);
+}
+
+TEST(PliTest, ErrorsOnUnknownTableOrColumn) {
+  auto db = DbWithEvents(10, true);
+  EXPECT_FALSE(
+      PhysicalLocationIndex::BuildFromDatabase(db.get(), "Nope", "ts").ok());
+  EXPECT_FALSE(
+      PhysicalLocationIndex::BuildFromDatabase(db.get(), "Events", "nope")
+          .ok());
+}
+
+}  // namespace
+}  // namespace dbfa

@@ -1,0 +1,200 @@
+// Cross-module adversarial scenarios: how the paper's tools compose when
+// attacker and investigator both know the playbook.
+#include <gtest/gtest.h>
+
+#include "antiforensics/steganography.h"
+#include "antiforensics/wiper.h"
+#include "auditor/storage_auditor.h"
+#include "core/carver.h"
+#include "detective/dbdetective.h"
+#include "storage/dialects.h"
+#include "workload/synthetic.h"
+
+namespace dbfa {
+namespace {
+
+CarverConfig ConfigFor(const Database& db) {
+  CarverConfig config;
+  config.params = GetDialect(db.params().dialect).value();
+  return config;
+}
+
+TEST(ScenarioTest, WipingDefeatsDeletedRecordDetection) {
+  // Black-hat anti-forensics (Section II-D): the attacker deletes rows
+  // unlogged, then runs the wiper. DBDetective's deleted-record evidence
+  // is gone — the paper is explicit that anti-forensic tools cut both
+  // ways. (The log/row-count mismatch would still show in other channels.)
+  auto db = Database::Open(DatabaseOptions{}).value();
+  SyntheticWorkload workload(db.get(), "Accounts", 13);
+  ASSERT_TRUE(workload.Setup(100).ok());
+  db->audit_log().SetEnabled(false);
+  ASSERT_TRUE(db->ExecuteSql("DELETE FROM Accounts WHERE Id = 33").ok());
+  db->audit_log().SetEnabled(true);
+
+  CarverConfig config = ConfigFor(*db);
+  Carver carver(config);
+  {
+    auto carve = carver.Carve(db->SnapshotDisk().value()).value();
+    DbDetective detective(&carve, &db->audit_log());
+    EXPECT_EQ(detective.FindUnattributedModifications().value().size(), 1u);
+  }
+  Wiper wiper(config);
+  ASSERT_TRUE(wiper.WipeDatabase(db.get()).ok());
+  {
+    auto carve = carver.Carve(db->SnapshotDisk().value()).value();
+    DbDetective detective(&carve, &db->audit_log());
+    EXPECT_TRUE(detective.FindUnattributedModifications().value().empty())
+        << "wiping destroys the deleted-record evidence";
+  }
+}
+
+TEST(ScenarioTest, VacuumEvadesFigure4ButIsItselfLogged) {
+  // An attacker can VACUUM to destroy delete residue — but VACUUM goes
+  // through the SQL surface, so either it appears in the log (suspicious
+  // context for an auditor) or, if run unlogged, the detective's
+  // *insert*-side attribution still drifts. Here: unlogged delete +
+  // logged vacuum leaves zero unattributed deletes (a documented
+  // limitation of the Figure 4 method alone).
+  auto db = Database::Open(DatabaseOptions{}).value();
+  SyntheticWorkload workload(db.get(), "Accounts", 14);
+  ASSERT_TRUE(workload.Setup(100).ok());
+  db->audit_log().SetEnabled(false);
+  ASSERT_TRUE(db->ExecuteSql("DELETE FROM Accounts WHERE Id = 44").ok());
+  db->audit_log().SetEnabled(true);
+  ASSERT_TRUE(db->ExecuteSql("VACUUM Accounts").ok());
+
+  CarverConfig config = ConfigFor(*db);
+  Carver carver(config);
+  auto carve = carver.Carve(db->SnapshotDisk().value()).value();
+  DbDetective detective(&carve, &db->audit_log());
+  auto findings = detective.FindUnattributedModifications().value();
+  EXPECT_TRUE(findings.empty());
+  // But the VACUUM is on the record, and the carve shows zero deleted
+  // residue immediately after it — itself an anomaly worth reporting.
+  EXPECT_EQ(carve.CountRecords(RowStatus::kDeleted), 0u);
+  bool vacuum_logged = false;
+  for (const AuditEntry& e : db->audit_log().entries()) {
+    if (e.sql.find("VACUUM") != std::string::npos) vacuum_logged = true;
+  }
+  EXPECT_TRUE(vacuum_logged);
+}
+
+TEST(ScenarioTest, SmartTamperWithChecksumRepairStillCaughtByAuditor) {
+  // The attacker repairs page checksums after editing (fix_checksum=true
+  // everywhere in workload/synthetic.h) — checksum verification is clean,
+  // yet index/table matching still exposes every edit.
+  auto db = Database::Open(DatabaseOptions{}).value();
+  SyntheticWorkload workload(db.get(), "Accounts", 15);
+  ASSERT_TRUE(workload.Setup(150).ok());
+  RowPointer victim{};
+  ASSERT_TRUE(db->heap("Accounts")
+                  ->Scan([&](RowPointer ptr, const Record& rec) {
+                    if (rec[0] == Value::Int(70)) victim = ptr;
+                    return Status::Ok();
+                  })
+                  .ok());
+  ASSERT_TRUE(TamperOverwriteField(db.get(), "Accounts", victim, "Id",
+                                   Value::Int(707070),
+                                   /*fix_checksum=*/true)
+                  .ok());
+  StorageAuditor auditor(ConfigFor(*db));
+  auto report = auditor.Audit(db->SnapshotDisk().value()).value();
+  EXPECT_TRUE(report.index_issues.empty())
+      << "checksums are clean — the attacker repaired them";
+  ASSERT_FALSE(report.findings.empty());
+  bool caught = false;
+  for (const TamperFinding& f : report.findings) {
+    if (f.kind == TamperFinding::Kind::kValueMismatch &&
+        !f.index_keys.empty() && f.index_keys[0] == Value::Int(70)) {
+      caught = true;
+    }
+  }
+  EXPECT_TRUE(caught) << report.ToString();
+}
+
+TEST(ScenarioTest, SteganographyIsInvisibleToDetectiveButNotToAuditor) {
+  // A hidden record (byte-level insert, no index entry) triggers the
+  // StorageAuditor's extraneous-record check — steganography and tamper
+  // detection are the same mechanism viewed from opposite sides.
+  auto db = Database::Open(DatabaseOptions{}).value();
+  SyntheticWorkload workload(db.get(), "Accounts", 16);
+  ASSERT_TRUE(workload.Setup(60).ok());
+  CarverConfig config = ConfigFor(*db);
+  Steganographer steg(config);
+  // A record that satisfies all constraints (quiet steganography: hide in
+  // plain sight rather than behind violations).
+  ASSERT_TRUE(steg.HideInDatabase(db.get(), "Accounts",
+                                  {Value::Int(424242), Value::Str("covert"),
+                                   Value::Str("msg"), Value::Real(0.0)})
+                  .ok());
+  StorageAuditor auditor(config);
+  auto report = auditor.Audit(db->SnapshotDisk().value()).value();
+  bool found = false;
+  for (const TamperFinding& f : report.findings) {
+    if (f.kind == TamperFinding::Kind::kExtraneousRecord &&
+        !f.record_values.empty() &&
+        f.record_values[0] == Value::Int(424242)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "the PK-index gap betrays the hidden record to the auditor";
+}
+
+TEST(ScenarioTest, MultiToolInvestigationEndToEnd) {
+  // Full pipeline on one incident: unlogged modifications + file tamper,
+  // investigated with detective + auditor from the same single carve.
+  auto db = Database::Open(DatabaseOptions{}).value();
+  SyntheticWorkload workload(db.get(), "Accounts", 17);
+  ASSERT_TRUE(workload.Setup(150).ok());
+  ASSERT_TRUE(workload.Run(100, OpMix{}, /*logged=*/true).ok());
+  // Attack 1: unlogged SQL delete.
+  db->audit_log().SetEnabled(false);
+  ASSERT_TRUE(db->ExecuteSql("DELETE FROM Accounts WHERE Id = 42").ok());
+  db->audit_log().SetEnabled(true);
+  // Attack 2: byte-level smuggled record.
+  ASSERT_TRUE(TamperInsertRecord(db.get(), "Accounts",
+                                 {Value::Int(87001), Value::Str("Ghost"),
+                                  Value::Str("X"), Value::Real(0.0)})
+                  .ok());
+
+  CarverConfig config = ConfigFor(*db);
+  Carver carver(config);
+  auto carve = carver.Carve(db->SnapshotDisk().value()).value();
+
+  DbDetective detective(&carve, &db->audit_log());
+  auto modifications = detective.FindUnattributedModifications().value();
+  StorageAuditor auditor(config);
+  auto audit = auditor.AuditCarve(carve).value();
+
+  bool sql_attack_found = false;
+  for (const auto& m : modifications) {
+    if (m.kind == UnattributedModification::Kind::kDelete &&
+        m.values[0] == Value::Int(42)) {
+      sql_attack_found = true;
+    }
+    // The smuggled record also shows as an unattributed insert.
+  }
+  bool tamper_found = false;
+  for (const TamperFinding& f : audit.findings) {
+    if (f.kind == TamperFinding::Kind::kExtraneousRecord &&
+        f.record_values[0] == Value::Int(87001)) {
+      tamper_found = true;
+    }
+  }
+  EXPECT_TRUE(sql_attack_found);
+  EXPECT_TRUE(tamper_found);
+  // The two tools agree on the smuggled record from different evidence:
+  // detective (no logged INSERT) and auditor (no index entry).
+  bool smuggled_in_detective = false;
+  for (const auto& m : modifications) {
+    if (m.kind == UnattributedModification::Kind::kInsert &&
+        m.values[0] == Value::Int(87001)) {
+      smuggled_in_detective = true;
+    }
+  }
+  EXPECT_TRUE(smuggled_in_detective);
+}
+
+}  // namespace
+}  // namespace dbfa

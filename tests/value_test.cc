@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "storage/value.h"
+
+namespace dbfa {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(7).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::Str("abc").as_string(), "abc");
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  EXPECT_LT(Value::Real(1.5), Value::Real(2.0));
+}
+
+TEST(ValueTest, CrossNumericCompare) {
+  EXPECT_EQ(Value::Compare(Value::Int(2), Value::Real(2.0)), 0);
+  EXPECT_LT(Value::Int(1), Value::Real(1.5));
+  EXPECT_LT(Value::Real(0.5), Value::Int(1));
+}
+
+TEST(ValueTest, NullSortsFirstNumbersBeforeStrings) {
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+  EXPECT_LT(Value::Null(), Value::Str(""));
+  EXPECT_LT(Value::Int(999999), Value::Str("0"));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Str("hi").ToString(), "hi");
+  EXPECT_EQ(Value::Str("it's").ToSqlLiteral(), "'it''s'");
+  EXPECT_EQ(Value::Int(3).ToSqlLiteral(), "3");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Int(42).Hash());
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Real(42.0).Hash())
+      << "integral doubles must hash like ints for hash joins";
+  EXPECT_EQ(Value::Str("x").Hash(), Value::Str("x").Hash());
+}
+
+TEST(RecordTest, LexicographicCompare) {
+  Record a = {Value::Int(1), Value::Str("b")};
+  Record b = {Value::Int(1), Value::Str("c")};
+  Record c = {Value::Int(1)};
+  EXPECT_LT(CompareRecords(a, b), 0);
+  EXPECT_EQ(CompareRecords(a, a), 0);
+  EXPECT_LT(CompareRecords(c, a), 0) << "prefix sorts first";
+}
+
+TEST(RecordTest, ToString) {
+  Record r = {Value::Int(1), Value::Str("Joe"), Value::Null()};
+  EXPECT_EQ(RecordToString(r), "(1, Joe, NULL)");
+}
+
+}  // namespace
+}  // namespace dbfa

@@ -1,0 +1,154 @@
+// SSBM generator/queries and synthetic workload + tamper primitives.
+#include <gtest/gtest.h>
+
+#include "workload/ssbm.h"
+#include "workload/synthetic.h"
+
+namespace dbfa {
+namespace {
+
+std::unique_ptr<Database> OpenDb() {
+  DatabaseOptions options;
+  auto db = Database::Open(options);
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+TEST(SsbmTest, LoadsAndAllQueriesRun) {
+  auto db = OpenDb();
+  SsbmConfig config;
+  config.customers = 60;
+  config.suppliers = 25;
+  config.parts = 60;
+  config.date_days = 400;
+  config.lineorders = 400;
+  ASSERT_TRUE(LoadSsbm(db.get(), config).ok());
+
+  // Every table is populated.
+  for (const char* table : {"date", "customer", "supplier", "part",
+                            "lineorder"}) {
+    EXPECT_NE(db->catalog().Find(table), nullptr) << table;
+  }
+  // Referential integrity held during load (FK enforcement was on).
+  size_t queries_with_rows = 0;
+  for (const std::string& qid : SsbmQueryIds()) {
+    auto result = RunSsbmQuery(db.get(), qid);
+    ASSERT_TRUE(result.ok()) << qid << ": " << result.status().ToString();
+    if (!result->rows.empty() && !result->rows[0][0].is_null()) {
+      ++queries_with_rows;
+    }
+  }
+  // The flight must be non-trivial: most queries select real data.
+  EXPECT_GE(queries_with_rows, 6u);
+}
+
+TEST(SsbmTest, UnknownQueryRejected) {
+  EXPECT_FALSE(SsbmQuerySql("Q9.9").ok());
+}
+
+TEST(SyntheticTest, WorkloadRunsAndRecordsGroundTruth) {
+  auto db = OpenDb();
+  SyntheticWorkload workload(db.get(), "Accounts", 7);
+  ASSERT_TRUE(workload.Setup(100).ok());
+  ASSERT_TRUE(workload.Run(150, OpMix{}, /*logged=*/true).ok());
+  ASSERT_TRUE(workload.Run(20, OpMix{}, /*logged=*/false).ok());
+
+  size_t logged = 0;
+  size_t unlogged = 0;
+  for (const AppliedOp& op : workload.history()) {
+    op.logged ? ++logged : ++unlogged;
+  }
+  EXPECT_EQ(unlogged, 20u);
+  EXPECT_EQ(logged, 251u);  // CREATE + 100 inserts + 150 ops
+  // The audit log contains exactly the logged ones.
+  EXPECT_EQ(db->audit_log().entries().size(), logged);
+}
+
+TEST(SyntheticTest, TamperOverwriteFieldBypassesLogAndIndex) {
+  auto db = OpenDb();
+  SyntheticWorkload workload(db.get(), "Accounts", 7);
+  ASSERT_TRUE(workload.Setup(50).ok());
+  size_t log_size = db->audit_log().entries().size();
+
+  // Find a victim row's physical location.
+  RowPointer victim{};
+  Record victim_row;
+  ASSERT_TRUE(db->heap("Accounts")
+                  ->Scan([&](RowPointer ptr, const Record& rec) {
+                    if (rec[0] == Value::Int(10)) {
+                      victim = ptr;
+                      victim_row = rec;
+                    }
+                    return Status::Ok();
+                  })
+                  .ok());
+  ASSERT_FALSE(victim_row.empty());
+  std::string owner = victim_row[1].as_string();
+  std::string forged(owner.size(), 'X');
+  ASSERT_TRUE(TamperOverwriteField(db.get(), "Accounts", victim, "Owner",
+                                   Value::Str(forged))
+                  .ok());
+  // The engine sees the forged value; the log saw nothing.
+  auto rows = db->ExecuteSql("SELECT Owner FROM Accounts WHERE Id = 10");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0], Value::Str(forged));
+  EXPECT_EQ(db->audit_log().entries().size(), log_size + 1)
+      << "only the investigating SELECT was logged";
+}
+
+TEST(SyntheticTest, TamperOverwriteRejectsLengthChange) {
+  auto db = OpenDb();
+  SyntheticWorkload workload(db.get(), "Accounts", 7);
+  ASSERT_TRUE(workload.Setup(10).ok());
+  RowPointer victim{};
+  ASSERT_TRUE(db->heap("Accounts")
+                  ->Scan([&](RowPointer ptr, const Record&) {
+                    victim = ptr;
+                    return Status::Ok();
+                  })
+                  .ok());
+  auto status = TamperOverwriteField(
+      db.get(), "Accounts", victim, "Owner",
+      Value::Str("this-name-is-way-too-long-to-fit-in-place"));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SyntheticTest, TamperInsertAndEraseRecords) {
+  auto db = OpenDb();
+  SyntheticWorkload workload(db.get(), "Accounts", 7);
+  ASSERT_TRUE(workload.Setup(30).ok());
+
+  // Smuggle a record in: visible to scans, absent from the PK index.
+  Record smuggled = {Value::Int(999), Value::Str("Ghost"),
+                     Value::Str("Nowhere"), Value::Real(1e6)};
+  ASSERT_TRUE(TamperInsertRecord(db.get(), "Accounts", smuggled).ok());
+  auto full = db->ExecuteSql("SELECT * FROM Accounts WHERE Owner = 'Ghost'");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->rows.size(), 1u) << "full scan sees the smuggled row";
+  auto by_pk = db->ExecuteSql("SELECT * FROM Accounts WHERE Id = 999");
+  ASSERT_TRUE(by_pk.ok());
+  EXPECT_TRUE(by_pk->rows.empty()) << "PK index scan does not";
+
+  // Erase record Id=5 at byte level: gone from scans, index unaware.
+  RowPointer victim{};
+  ASSERT_TRUE(db->heap("Accounts")
+                  ->Scan([&](RowPointer ptr, const Record& rec) {
+                    if (rec[0] == Value::Int(5)) victim = ptr;
+                    return Status::Ok();
+                  })
+                  .ok());
+  ASSERT_TRUE(TamperEraseRecord(db.get(), "Accounts", victim).ok());
+  auto gone = db->ExecuteSql("SELECT * FROM Accounts WHERE Owner <> ''");
+  ASSERT_TRUE(gone.ok());
+  for (const Record& r : gone->rows) {
+    EXPECT_NE(r[0], Value::Int(5));
+  }
+  BTree* pk = db->index("Accounts", "pk_Accounts");
+  auto stale = pk->SearchEqual({Value::Int(5)});
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->size(), 1u) << "index still points at the erased record";
+}
+
+}  // namespace
+}  // namespace dbfa

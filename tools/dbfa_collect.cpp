@@ -1,0 +1,44 @@
+// dbfa_collect — run the black-box parameter collector against a MiniDB
+// instance of the chosen dialect and write the configuration file.
+//
+//   dbfa_collect <dialect> <out.conf>
+#include <cstdio>
+#include <string>
+
+#include "core/parameter_collector.h"
+#include "engine/database.h"
+#include "storage/dialects.h"
+
+int main(int argc, char** argv) {
+  using namespace dbfa;
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: dbfa_collect <dialect> <out.conf>\n"
+                         "dialects:");
+    for (const std::string& name : BuiltinDialectNames()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  DatabaseOptions options;
+  options.dialect = argv[1];
+  auto db = Database::Open(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  MiniDbBlackBox blackbox(db->get());
+  ParameterCollector collector;
+  auto config = collector.Collect(&blackbox);
+  if (!config.ok()) {
+    std::fprintf(stderr, "collection failed: %s\n",
+                 config.status().ToString().c_str());
+    return 1;
+  }
+  if (auto s = SaveConfig(argv[2], *config); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", argv[2]);
+  return 0;
+}
