@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_antiforensics.dir/bench_antiforensics.cpp.o"
+  "CMakeFiles/bench_antiforensics.dir/bench_antiforensics.cpp.o.d"
+  "bench_antiforensics"
+  "bench_antiforensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_antiforensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_patterns.dir/bench_cache_patterns.cpp.o"
+  "CMakeFiles/bench_cache_patterns.dir/bench_cache_patterns.cpp.o.d"
+  "bench_cache_patterns"
+  "bench_cache_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

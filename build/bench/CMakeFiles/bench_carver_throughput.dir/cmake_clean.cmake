@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_carver_throughput.dir/bench_carver_throughput.cpp.o"
+  "CMakeFiles/bench_carver_throughput.dir/bench_carver_throughput.cpp.o.d"
+  "bench_carver_throughput"
+  "bench_carver_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_carver_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

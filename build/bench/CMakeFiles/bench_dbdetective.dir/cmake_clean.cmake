@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dbdetective.dir/bench_dbdetective.cpp.o"
+  "CMakeFiles/bench_dbdetective.dir/bench_dbdetective.cpp.o.d"
+  "bench_dbdetective"
+  "bench_dbdetective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dbdetective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_evidence_lifetime.dir/bench_evidence_lifetime.cpp.o"
+  "CMakeFiles/bench_evidence_lifetime.dir/bench_evidence_lifetime.cpp.o.d"
+  "bench_evidence_lifetime"
+  "bench_evidence_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evidence_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

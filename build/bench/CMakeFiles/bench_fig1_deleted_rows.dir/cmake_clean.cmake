@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_deleted_rows.dir/bench_fig1_deleted_rows.cpp.o"
+  "CMakeFiles/bench_fig1_deleted_rows.dir/bench_fig1_deleted_rows.cpp.o.d"
+  "bench_fig1_deleted_rows"
+  "bench_fig1_deleted_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_deleted_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

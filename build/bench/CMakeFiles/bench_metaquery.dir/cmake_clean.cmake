@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metaquery.dir/bench_metaquery.cpp.o"
+  "CMakeFiles/bench_metaquery.dir/bench_metaquery.cpp.o.d"
+  "bench_metaquery"
+  "bench_metaquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metaquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

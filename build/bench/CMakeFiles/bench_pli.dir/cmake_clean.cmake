@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pli.dir/bench_pli.cpp.o"
+  "CMakeFiles/bench_pli.dir/bench_pli.cpp.o.d"
+  "bench_pli"
+  "bench_pli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

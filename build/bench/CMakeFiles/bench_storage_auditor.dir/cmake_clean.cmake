@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_auditor.dir/bench_storage_auditor.cpp.o"
+  "CMakeFiles/bench_storage_auditor.dir/bench_storage_auditor.cpp.o.d"
+  "bench_storage_auditor"
+  "bench_storage_auditor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_auditor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_layouts.dir/bench_table2_layouts.cpp.o"
+  "CMakeFiles/bench_table2_layouts.dir/bench_table2_layouts.cpp.o.d"
+  "bench_table2_layouts"
+  "bench_table2_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collect_config.dir/collect_config.cpp.o"
+  "CMakeFiles/collect_config.dir/collect_config.cpp.o.d"
+  "collect_config"
+  "collect_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collect_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/investigation.dir/investigation.cpp.o"
+  "CMakeFiles/investigation.dir/investigation.cpp.o.d"
+  "investigation"
+  "investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steganography.dir/steganography.cpp.o"
+  "CMakeFiles/steganography.dir/steganography.cpp.o.d"
+  "steganography"
+  "steganography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steganography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

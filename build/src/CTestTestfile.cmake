@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sql")
+subdirs("storage")
+subdirs("engine")
+subdirs("core")
+subdirs("metaquery")
+subdirs("antiforensics")
+subdirs("detective")
+subdirs("auditor")
+subdirs("timeline")
+subdirs("pli")
+subdirs("workload")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_antiforensics.dir/steganography.cc.o"
+  "CMakeFiles/dbfa_antiforensics.dir/steganography.cc.o.d"
+  "CMakeFiles/dbfa_antiforensics.dir/wiper.cc.o"
+  "CMakeFiles/dbfa_antiforensics.dir/wiper.cc.o.d"
+  "libdbfa_antiforensics.a"
+  "libdbfa_antiforensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_antiforensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

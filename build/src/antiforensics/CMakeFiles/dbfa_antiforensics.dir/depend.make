@@ -1,0 +1,2 @@
+# Empty dependencies file for dbfa_antiforensics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_auditor.dir/storage_auditor.cc.o"
+  "CMakeFiles/dbfa_auditor.dir/storage_auditor.cc.o.d"
+  "libdbfa_auditor.a"
+  "libdbfa_auditor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_auditor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_common.dir/bytes.cc.o"
+  "CMakeFiles/dbfa_common.dir/bytes.cc.o.d"
+  "CMakeFiles/dbfa_common.dir/checksum.cc.o"
+  "CMakeFiles/dbfa_common.dir/checksum.cc.o.d"
+  "CMakeFiles/dbfa_common.dir/hexdump.cc.o"
+  "CMakeFiles/dbfa_common.dir/hexdump.cc.o.d"
+  "CMakeFiles/dbfa_common.dir/status.cc.o"
+  "CMakeFiles/dbfa_common.dir/status.cc.o.d"
+  "CMakeFiles/dbfa_common.dir/strings.cc.o"
+  "CMakeFiles/dbfa_common.dir/strings.cc.o.d"
+  "libdbfa_common.a"
+  "libdbfa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/artifacts.cc" "src/core/CMakeFiles/dbfa_core.dir/artifacts.cc.o" "gcc" "src/core/CMakeFiles/dbfa_core.dir/artifacts.cc.o.d"
+  "/root/repo/src/core/carver.cc" "src/core/CMakeFiles/dbfa_core.dir/carver.cc.o" "gcc" "src/core/CMakeFiles/dbfa_core.dir/carver.cc.o.d"
+  "/root/repo/src/core/config_io.cc" "src/core/CMakeFiles/dbfa_core.dir/config_io.cc.o" "gcc" "src/core/CMakeFiles/dbfa_core.dir/config_io.cc.o.d"
+  "/root/repo/src/core/page_builder.cc" "src/core/CMakeFiles/dbfa_core.dir/page_builder.cc.o" "gcc" "src/core/CMakeFiles/dbfa_core.dir/page_builder.cc.o.d"
+  "/root/repo/src/core/parameter_collector.cc" "src/core/CMakeFiles/dbfa_core.dir/parameter_collector.cc.o" "gcc" "src/core/CMakeFiles/dbfa_core.dir/parameter_collector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbfa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbfa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dbfa_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dbfa_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

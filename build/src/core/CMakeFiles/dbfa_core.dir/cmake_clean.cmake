@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_core.dir/artifacts.cc.o"
+  "CMakeFiles/dbfa_core.dir/artifacts.cc.o.d"
+  "CMakeFiles/dbfa_core.dir/carver.cc.o"
+  "CMakeFiles/dbfa_core.dir/carver.cc.o.d"
+  "CMakeFiles/dbfa_core.dir/config_io.cc.o"
+  "CMakeFiles/dbfa_core.dir/config_io.cc.o.d"
+  "CMakeFiles/dbfa_core.dir/page_builder.cc.o"
+  "CMakeFiles/dbfa_core.dir/page_builder.cc.o.d"
+  "CMakeFiles/dbfa_core.dir/parameter_collector.cc.o"
+  "CMakeFiles/dbfa_core.dir/parameter_collector.cc.o.d"
+  "libdbfa_core.a"
+  "libdbfa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detective/confidence.cc" "src/detective/CMakeFiles/dbfa_detective.dir/confidence.cc.o" "gcc" "src/detective/CMakeFiles/dbfa_detective.dir/confidence.cc.o.d"
+  "/root/repo/src/detective/dbdetective.cc" "src/detective/CMakeFiles/dbfa_detective.dir/dbdetective.cc.o" "gcc" "src/detective/CMakeFiles/dbfa_detective.dir/dbdetective.cc.o.d"
+  "/root/repo/src/detective/evidence.cc" "src/detective/CMakeFiles/dbfa_detective.dir/evidence.cc.o" "gcc" "src/detective/CMakeFiles/dbfa_detective.dir/evidence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dbfa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dbfa_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dbfa_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbfa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbfa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_detective.dir/confidence.cc.o"
+  "CMakeFiles/dbfa_detective.dir/confidence.cc.o.d"
+  "CMakeFiles/dbfa_detective.dir/dbdetective.cc.o"
+  "CMakeFiles/dbfa_detective.dir/dbdetective.cc.o.d"
+  "CMakeFiles/dbfa_detective.dir/evidence.cc.o"
+  "CMakeFiles/dbfa_detective.dir/evidence.cc.o.d"
+  "libdbfa_detective.a"
+  "libdbfa_detective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_detective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

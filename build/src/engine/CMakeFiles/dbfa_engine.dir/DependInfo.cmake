@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/audit_log.cc" "src/engine/CMakeFiles/dbfa_engine.dir/audit_log.cc.o" "gcc" "src/engine/CMakeFiles/dbfa_engine.dir/audit_log.cc.o.d"
+  "/root/repo/src/engine/btree.cc" "src/engine/CMakeFiles/dbfa_engine.dir/btree.cc.o" "gcc" "src/engine/CMakeFiles/dbfa_engine.dir/btree.cc.o.d"
+  "/root/repo/src/engine/buffer_pool.cc" "src/engine/CMakeFiles/dbfa_engine.dir/buffer_pool.cc.o" "gcc" "src/engine/CMakeFiles/dbfa_engine.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/engine/catalog.cc" "src/engine/CMakeFiles/dbfa_engine.dir/catalog.cc.o" "gcc" "src/engine/CMakeFiles/dbfa_engine.dir/catalog.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/dbfa_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/dbfa_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/pager.cc" "src/engine/CMakeFiles/dbfa_engine.dir/pager.cc.o" "gcc" "src/engine/CMakeFiles/dbfa_engine.dir/pager.cc.o.d"
+  "/root/repo/src/engine/storage_file.cc" "src/engine/CMakeFiles/dbfa_engine.dir/storage_file.cc.o" "gcc" "src/engine/CMakeFiles/dbfa_engine.dir/storage_file.cc.o.d"
+  "/root/repo/src/engine/table_heap.cc" "src/engine/CMakeFiles/dbfa_engine.dir/table_heap.cc.o" "gcc" "src/engine/CMakeFiles/dbfa_engine.dir/table_heap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbfa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbfa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dbfa_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_engine.dir/audit_log.cc.o"
+  "CMakeFiles/dbfa_engine.dir/audit_log.cc.o.d"
+  "CMakeFiles/dbfa_engine.dir/btree.cc.o"
+  "CMakeFiles/dbfa_engine.dir/btree.cc.o.d"
+  "CMakeFiles/dbfa_engine.dir/buffer_pool.cc.o"
+  "CMakeFiles/dbfa_engine.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/dbfa_engine.dir/catalog.cc.o"
+  "CMakeFiles/dbfa_engine.dir/catalog.cc.o.d"
+  "CMakeFiles/dbfa_engine.dir/database.cc.o"
+  "CMakeFiles/dbfa_engine.dir/database.cc.o.d"
+  "CMakeFiles/dbfa_engine.dir/pager.cc.o"
+  "CMakeFiles/dbfa_engine.dir/pager.cc.o.d"
+  "CMakeFiles/dbfa_engine.dir/storage_file.cc.o"
+  "CMakeFiles/dbfa_engine.dir/storage_file.cc.o.d"
+  "CMakeFiles/dbfa_engine.dir/table_heap.cc.o"
+  "CMakeFiles/dbfa_engine.dir/table_heap.cc.o.d"
+  "libdbfa_engine.a"
+  "libdbfa_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

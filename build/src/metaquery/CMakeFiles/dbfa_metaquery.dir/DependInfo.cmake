@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metaquery/relation.cc" "src/metaquery/CMakeFiles/dbfa_metaquery.dir/relation.cc.o" "gcc" "src/metaquery/CMakeFiles/dbfa_metaquery.dir/relation.cc.o.d"
+  "/root/repo/src/metaquery/session.cc" "src/metaquery/CMakeFiles/dbfa_metaquery.dir/session.cc.o" "gcc" "src/metaquery/CMakeFiles/dbfa_metaquery.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dbfa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dbfa_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dbfa_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbfa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbfa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

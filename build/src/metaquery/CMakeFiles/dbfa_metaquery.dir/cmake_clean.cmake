@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_metaquery.dir/relation.cc.o"
+  "CMakeFiles/dbfa_metaquery.dir/relation.cc.o.d"
+  "CMakeFiles/dbfa_metaquery.dir/session.cc.o"
+  "CMakeFiles/dbfa_metaquery.dir/session.cc.o.d"
+  "libdbfa_metaquery.a"
+  "libdbfa_metaquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_metaquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dbfa_metaquery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_pli.dir/pli.cc.o"
+  "CMakeFiles/dbfa_pli.dir/pli.cc.o.d"
+  "CMakeFiles/dbfa_pli.dir/query_reorder.cc.o"
+  "CMakeFiles/dbfa_pli.dir/query_reorder.cc.o.d"
+  "libdbfa_pli.a"
+  "libdbfa_pli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_pli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbfa_pli.a"
+)

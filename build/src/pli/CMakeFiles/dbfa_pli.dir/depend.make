@@ -1,0 +1,2 @@
+# Empty dependencies file for dbfa_pli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_sql.dir/expr.cc.o"
+  "CMakeFiles/dbfa_sql.dir/expr.cc.o.d"
+  "CMakeFiles/dbfa_sql.dir/parser.cc.o"
+  "CMakeFiles/dbfa_sql.dir/parser.cc.o.d"
+  "CMakeFiles/dbfa_sql.dir/statement.cc.o"
+  "CMakeFiles/dbfa_sql.dir/statement.cc.o.d"
+  "CMakeFiles/dbfa_sql.dir/token.cc.o"
+  "CMakeFiles/dbfa_sql.dir/token.cc.o.d"
+  "libdbfa_sql.a"
+  "libdbfa_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

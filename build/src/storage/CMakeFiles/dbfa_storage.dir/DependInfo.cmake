@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/dialects.cc" "src/storage/CMakeFiles/dbfa_storage.dir/dialects.cc.o" "gcc" "src/storage/CMakeFiles/dbfa_storage.dir/dialects.cc.o.d"
+  "/root/repo/src/storage/disk_image.cc" "src/storage/CMakeFiles/dbfa_storage.dir/disk_image.cc.o" "gcc" "src/storage/CMakeFiles/dbfa_storage.dir/disk_image.cc.o.d"
+  "/root/repo/src/storage/page_formatter.cc" "src/storage/CMakeFiles/dbfa_storage.dir/page_formatter.cc.o" "gcc" "src/storage/CMakeFiles/dbfa_storage.dir/page_formatter.cc.o.d"
+  "/root/repo/src/storage/page_layout.cc" "src/storage/CMakeFiles/dbfa_storage.dir/page_layout.cc.o" "gcc" "src/storage/CMakeFiles/dbfa_storage.dir/page_layout.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/dbfa_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/dbfa_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/dbfa_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/dbfa_storage.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbfa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_storage.dir/dialects.cc.o"
+  "CMakeFiles/dbfa_storage.dir/dialects.cc.o.d"
+  "CMakeFiles/dbfa_storage.dir/disk_image.cc.o"
+  "CMakeFiles/dbfa_storage.dir/disk_image.cc.o.d"
+  "CMakeFiles/dbfa_storage.dir/page_formatter.cc.o"
+  "CMakeFiles/dbfa_storage.dir/page_formatter.cc.o.d"
+  "CMakeFiles/dbfa_storage.dir/page_layout.cc.o"
+  "CMakeFiles/dbfa_storage.dir/page_layout.cc.o.d"
+  "CMakeFiles/dbfa_storage.dir/schema.cc.o"
+  "CMakeFiles/dbfa_storage.dir/schema.cc.o.d"
+  "CMakeFiles/dbfa_storage.dir/value.cc.o"
+  "CMakeFiles/dbfa_storage.dir/value.cc.o.d"
+  "libdbfa_storage.a"
+  "libdbfa_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

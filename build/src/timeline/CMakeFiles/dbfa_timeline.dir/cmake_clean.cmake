@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_timeline.dir/log_event_analyzer.cc.o"
+  "CMakeFiles/dbfa_timeline.dir/log_event_analyzer.cc.o.d"
+  "libdbfa_timeline.a"
+  "libdbfa_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_workload.dir/ssbm.cc.o"
+  "CMakeFiles/dbfa_workload.dir/ssbm.cc.o.d"
+  "CMakeFiles/dbfa_workload.dir/synthetic.cc.o"
+  "CMakeFiles/dbfa_workload.dir/synthetic.cc.o.d"
+  "libdbfa_workload.a"
+  "libdbfa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antiforensics_test.dir/antiforensics_test.cc.o"
+  "CMakeFiles/antiforensics_test.dir/antiforensics_test.cc.o.d"
+  "antiforensics_test"
+  "antiforensics_test.pdb"
+  "antiforensics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antiforensics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

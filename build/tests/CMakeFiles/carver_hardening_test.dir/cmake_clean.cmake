@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carver_hardening_test.dir/carver_hardening_test.cc.o"
+  "CMakeFiles/carver_hardening_test.dir/carver_hardening_test.cc.o.d"
+  "carver_hardening_test"
+  "carver_hardening_test.pdb"
+  "carver_hardening_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carver_hardening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carver_test.dir/carver_test.cc.o"
+  "CMakeFiles/carver_test.dir/carver_test.cc.o.d"
+  "carver_test"
+  "carver_test.pdb"
+  "carver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detective_test.dir/detective_test.cc.o"
+  "CMakeFiles/detective_test.dir/detective_test.cc.o.d"
+  "detective_test"
+  "detective_test.pdb"
+  "detective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaquery_test.dir/metaquery_test.cc.o"
+  "CMakeFiles/metaquery_test.dir/metaquery_test.cc.o.d"
+  "metaquery_test"
+  "metaquery_test.pdb"
+  "metaquery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaquery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

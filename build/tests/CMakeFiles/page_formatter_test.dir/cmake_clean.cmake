@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_formatter_test.dir/page_formatter_test.cc.o"
+  "CMakeFiles/page_formatter_test.dir/page_formatter_test.cc.o.d"
+  "page_formatter_test"
+  "page_formatter_test.pdb"
+  "page_formatter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_formatter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

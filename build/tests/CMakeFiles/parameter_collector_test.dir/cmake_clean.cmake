@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_collector_test.dir/parameter_collector_test.cc.o"
+  "CMakeFiles/parameter_collector_test.dir/parameter_collector_test.cc.o.d"
+  "parameter_collector_test"
+  "parameter_collector_test.pdb"
+  "parameter_collector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_audit.dir/dbfa_audit.cpp.o"
+  "CMakeFiles/dbfa_audit.dir/dbfa_audit.cpp.o.d"
+  "dbfa_audit"
+  "dbfa_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_carve.dir/dbfa_carve.cpp.o"
+  "CMakeFiles/dbfa_carve.dir/dbfa_carve.cpp.o.d"
+  "dbfa_carve"
+  "dbfa_carve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_carve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_collect.dir/dbfa_collect.cpp.o"
+  "CMakeFiles/dbfa_collect.dir/dbfa_collect.cpp.o.d"
+  "dbfa_collect"
+  "dbfa_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

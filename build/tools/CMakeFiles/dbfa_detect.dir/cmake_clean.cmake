@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_detect.dir/dbfa_detect.cpp.o"
+  "CMakeFiles/dbfa_detect.dir/dbfa_detect.cpp.o.d"
+  "dbfa_detect"
+  "dbfa_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

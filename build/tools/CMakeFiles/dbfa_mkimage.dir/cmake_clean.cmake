@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_mkimage.dir/dbfa_mkimage.cpp.o"
+  "CMakeFiles/dbfa_mkimage.dir/dbfa_mkimage.cpp.o.d"
+  "dbfa_mkimage"
+  "dbfa_mkimage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_mkimage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

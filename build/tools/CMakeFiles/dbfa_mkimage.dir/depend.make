@@ -1,0 +1,2 @@
+# Empty dependencies file for dbfa_mkimage.
+# This may be replaced when dependencies are built.

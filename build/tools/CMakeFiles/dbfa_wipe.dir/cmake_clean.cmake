@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbfa_wipe.dir/dbfa_wipe.cpp.o"
+  "CMakeFiles/dbfa_wipe.dir/dbfa_wipe.cpp.o.d"
+  "dbfa_wipe"
+  "dbfa_wipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbfa_wipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
