@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "core/carver.h"
+#include "core/parallel_carver.h"
 #include "engine/database.h"
 #include "storage/dialects.h"
 #include "storage/disk_image.h"
@@ -107,6 +108,84 @@ void BM_CarveMultiConfig(benchmark::State& state) {
                           static_cast<int64_t>(image.with_garbage.size()));
 }
 BENCHMARK(BM_CarveMultiConfig);
+
+/// A ≥64 MB forensic image: one garbage-interleaved snapshot tiled until
+/// the target size. Page ids repeat across tiles, which the carver treats
+/// like any multi-file image; record volume scales with the tiling.
+const Bytes& LargeImage() {
+  static Bytes* image = [] {
+    constexpr size_t kTargetBytes = 64u << 20;
+    const PreparedImage& base = ImageForRows(16000);
+    Bytes* out = new Bytes();
+    out->reserve(kTargetBytes + base.with_garbage.size());
+    while (out->size() < kTargetBytes) {
+      out->insert(out->end(), base.with_garbage.begin(),
+                  base.with_garbage.end());
+    }
+    return out;
+  }();
+  return *image;
+}
+
+/// Serial baseline over the large image; compare bytes_per_second against
+/// BM_CarveLargeImageParallel to read the speedup.
+void BM_CarveLargeImageSerial(benchmark::State& state) {
+  const Bytes& image = LargeImage();
+  Carver carver(ConfigFor("postgres_like"));
+  for (auto _ : state) {
+    auto result = carver.Carve(image);
+    if (!result.ok()) state.SkipWithError("carve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(image.size()));
+}
+BENCHMARK(BM_CarveLargeImageSerial)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Parallel chunked pipeline, Arg = worker threads. UseRealTime so MB/s
+/// reflects wall clock, not the orchestrating thread's CPU time.
+void BM_CarveLargeImageParallel(benchmark::State& state) {
+  const Bytes& image = LargeImage();
+  CarveOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  ParallelCarver carver(ConfigFor("postgres_like"), options);
+  for (auto _ : state) {
+    auto result = carver.Carve(image);
+    if (!result.ok()) state.SkipWithError("carve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(image.size()));
+  state.counters["threads"] =
+      static_cast<double>(carver.thread_count());
+}
+BENCHMARK(BM_CarveLargeImageParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CarveMultiConfigParallel(benchmark::State& state) {
+  // The multi-config scan with one task per (config, chunk).
+  const PreparedImage& image = ImageForRows(4000);
+  std::vector<CarverConfig> configs;
+  for (const std::string& name : BuiltinDialectNames()) {
+    configs.push_back(ConfigFor(name));
+  }
+  CarveOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto results =
+        ParallelCarver::CarveMulti(image.with_garbage, configs, options);
+    if (!results.ok()) state.SkipWithError("carve failed");
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(image.with_garbage.size()));
+}
+BENCHMARK(BM_CarveMultiConfigParallel)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_RamSnapshotCarve(benchmark::State& state) {
   DatabaseOptions options;

@@ -1,0 +1,65 @@
+// A small reusable worker pool for the parallel carving pipeline.
+//
+// Design constraints: fixed thread count chosen at construction (forensic
+// workloads size the pool once per run), FIFO task queue, and a Wait()
+// barrier so an orchestrating thread can submit a wave of independent
+// tasks and block until the wave drains. Tasks must not throw; the
+// library is no-exception style throughout.
+//
+// Concurrency contract: one orchestrating thread calls Submit/ParallelFor/
+// Wait; worker threads only execute tasks. Task completion is published
+// under the pool mutex, so anything a task wrote before finishing
+// happens-before Wait() returning in the orchestrator.
+#ifndef DBFA_COMMON_THREAD_POOL_H_
+#define DBFA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dbfa {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return threads_.size(); }
+
+  /// Enqueues a task. Never blocks on task execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Submits body(0) … body(n-1) and waits for all of them.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// std::thread::hardware_concurrency, never 0.
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;  // signals workers: task ready / stop
+  std::condition_variable done_cv_;  // signals Wait(): queue drained
+  std::queue<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_COMMON_THREAD_POOL_H_

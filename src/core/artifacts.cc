@@ -4,6 +4,20 @@
 
 namespace dbfa {
 
+double CarveStats::ThroughputMBps() const {
+  double seconds = TotalSeconds();
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes_scanned) / (1024.0 * 1024.0) / seconds;
+}
+
+std::string CarveStats::ToString() const {
+  return StrFormat(
+      "scanned=%zuB probed=%zu accepted=%zu bad_checksum=%zu "
+      "detect=%.3fs catalog=%.3fs content=%.3fs (%.1f MB/s)",
+      bytes_scanned, pages_probed, pages_accepted, checksum_failures,
+      detect_seconds, catalog_seconds, content_seconds, ThroughputMBps());
+}
+
 const TableSchema* CarveResult::SchemaByName(const std::string& table) const {
   for (const auto& [object_id, schema] : schemas) {
     if (EqualsIgnoreCase(schema.name, table)) return &schema;

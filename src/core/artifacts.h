@@ -29,6 +29,8 @@ struct CarvedPage {
   uint32_t next_page = 0;  // heap / leaf chain
   uint64_t lsn = 0;
   bool checksum_ok = true;
+
+  bool operator==(const CarvedPage&) const = default;
 };
 
 enum class RowStatus { kActive, kDeleted };
@@ -54,6 +56,8 @@ struct CarvedRecord {
   /// True when a reconstructed schema drove the decoding; false for
   /// best-effort untyped decoding.
   bool typed = false;
+
+  bool operator==(const CarvedRecord&) const = default;
 };
 
 /// One reconstructed index entry ("deleted values" live here after the
@@ -67,6 +71,8 @@ struct CarvedIndexEntry {
   bool leaf = true;
   std::vector<Value> keys;
   RowPointer pointer;
+
+  bool operator==(const CarvedIndexEntry&) const = default;
 };
 
 /// One reconstructed system-catalog row.
@@ -78,6 +84,8 @@ struct CarvedCatalogEntry {
   uint32_t root_page = 0;
   std::string info;  // serialized schema / index column list
   RowStatus status = RowStatus::kActive;
+
+  bool operator==(const CarvedCatalogEntry&) const = default;
 };
 
 /// Index metadata recovered from the catalog.
@@ -88,12 +96,42 @@ struct CarvedIndexMeta {
   uint32_t root_page = 0;
   std::vector<std::string> columns;
   bool dropped = false;
+
+  bool operator==(const CarvedIndexMeta&) const = default;
+};
+
+/// Lightweight carve metrics, populated by both `Carver` and
+/// `ParallelCarver`. Artifact outputs of the two carvers are identical;
+/// only `pages_probed` may be higher for the parallel carver, because chunk
+/// workers probe the full detection grid (they cannot skip accepted-page
+/// interiors the way the serial cursor does). Phase wall times for the
+/// parallel carver measure the whole concurrent wave.
+struct CarveStats {
+  size_t bytes_scanned = 0;      // image bytes the detection pass covered
+  size_t pages_probed = 0;       // offsets where the magic test ran
+  size_t pages_accepted = 0;     // offsets accepted as pages
+  size_t checksum_failures = 0;  // accepted pages failing their checksum
+  double detect_seconds = 0.0;   // pass 1: page detection
+  double catalog_seconds = 0.0;  // pass 2: catalog reconstruction
+  double content_seconds = 0.0;  // passes 3-4: content + raw-scan fallback
+
+  double TotalSeconds() const {
+    return detect_seconds + catalog_seconds + content_seconds;
+  }
+  /// Raw image MB/s through the whole pipeline; 0 when no time elapsed.
+  double ThroughputMBps() const;
+  std::string ToString() const;
 };
 
 /// Everything reconstructed from one image with one dialect config.
 struct CarveResult {
   std::string dialect;
   size_t image_size = 0;
+
+  /// Timing and probe counters for the carve that produced this result.
+  /// Not part of the artifact output: equivalence checks compare the
+  /// collections below, never stats.
+  CarveStats stats;
 
   std::vector<CarvedPage> pages;
   std::vector<CarvedRecord> records;

@@ -1,5 +1,6 @@
 #include "core/carver.h"
 
+#include <chrono>
 #include <cstring>
 #include <set>
 
@@ -10,6 +11,12 @@ namespace {
 
 /// Sanity bounds for header fields of a candidate page.
 constexpr uint32_t kMaxPlausibleId = 1u << 24;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 bool KnownPageType(uint8_t t) {
   return t == static_cast<uint8_t>(PageType::kData) ||
@@ -45,42 +52,69 @@ bool Carver::LooksLikePage(ByteView image, size_t offset,
   return true;
 }
 
+std::optional<CarvedPage> Carver::ProbePage(ByteView image,
+                                            size_t offset) const {
+  bool checksum_ok = false;
+  if (!LooksLikePage(image, offset, &checksum_ok)) return std::nullopt;
+  const uint8_t* page = image.data() + offset;
+  CarvedPage carved;
+  carved.image_offset = offset;
+  carved.page_id = fmt_.PageId(page);
+  carved.object_id = fmt_.ObjectId(page);
+  carved.type = fmt_.TypeOf(page);
+  carved.record_count = fmt_.RecordCount(page);
+  carved.next_page = fmt_.NextPage(page);
+  carved.lsn = fmt_.Lsn(page);
+  carved.checksum_ok = checksum_ok;
+  return carved;
+}
+
 Result<CarveResult> Carver::Carve(ByteView image) const {
   const PageLayoutParams& p = config_.params;
   CarveResult result;
   result.dialect = p.dialect;
   result.image_size = image.size();
+  result.stats.bytes_scanned = image.size();
 
   // Pass 1: page detection. Accepting a page advances the cursor by a full
   // page so page-interior bytes are never re-interpreted as page starts.
+  auto detect_start = std::chrono::steady_clock::now();
   size_t step = options_.scan_step == 0 ? 512 : options_.scan_step;
   size_t offset = 0;
   while (offset + p.page_size <= image.size()) {
-    bool checksum_ok = false;
-    if (!LooksLikePage(image, offset, &checksum_ok)) {
+    ++result.stats.pages_probed;
+    std::optional<CarvedPage> carved = ProbePage(image, offset);
+    if (!carved.has_value()) {
       offset += step;
       continue;
     }
-    const uint8_t* page = image.data() + offset;
-    CarvedPage carved;
-    carved.image_offset = offset;
-    carved.page_id = fmt_.PageId(page);
-    carved.object_id = fmt_.ObjectId(page);
-    carved.type = fmt_.TypeOf(page);
-    carved.record_count = fmt_.RecordCount(page);
-    carved.next_page = fmt_.NextPage(page);
-    carved.lsn = fmt_.Lsn(page);
-    carved.checksum_ok = checksum_ok;
-    result.pages.push_back(carved);
+    if (!carved->checksum_ok) ++result.stats.checksum_failures;
+    result.pages.push_back(*carved);
     offset += p.page_size;
   }
+  result.stats.pages_accepted = result.pages.size();
+  result.stats.detect_seconds = SecondsSince(detect_start);
 
   // Pass 2: catalog reconstruction (schemas drive typed decoding later).
+  auto catalog_start = std::chrono::steady_clock::now();
   CarveCatalog(image, &result);
+  result.stats.catalog_seconds = SecondsSince(catalog_start);
 
-  // Pass 3: content.
-  for (size_t i = 0; i < result.pages.size(); ++i) {
-    const CarvedPage& page_meta = result.pages[i];
+  // Passes 3-4: content.
+  auto content_start = std::chrono::steady_clock::now();
+  CarveContentRange(image, result, 0, result.pages.size(), &result.records,
+                    &result.index_entries);
+  result.stats.content_seconds = SecondsSince(content_start);
+  return result;
+}
+
+void Carver::CarveContentRange(ByteView image, const CarveResult& base,
+                               size_t begin, size_t end,
+                               std::vector<CarvedRecord>* records,
+                               std::vector<CarvedIndexEntry>* entries) const {
+  const PageLayoutParams& p = config_.params;
+  for (size_t i = begin; i < end; ++i) {
+    const CarvedPage& page_meta = base.pages[i];
     if (!page_meta.checksum_ok && !options_.parse_bad_checksum_pages) {
       continue;
     }
@@ -88,18 +122,20 @@ Result<CarveResult> Carver::Carve(ByteView image) const {
     switch (page_meta.type) {
       case PageType::kData:
         if (page_meta.object_id != config_.catalog_object_id) {
-          CarveDataPage(page, i, &result);
+          const TableSchema* schema = nullptr;
+          auto schema_it = base.schemas.find(page_meta.object_id);
+          if (schema_it != base.schemas.end()) schema = &schema_it->second;
+          CarveDataPage(page, i, page_meta, schema, records);
         }
         break;
       case PageType::kIndexLeaf:
       case PageType::kIndexInternal:
-        CarveIndexPage(page, i, &result);
+        CarveIndexPage(page, i, page_meta, entries);
         break;
       case PageType::kFree:
         break;
     }
   }
-  return result;
 }
 
 void Carver::CarveCatalog(ByteView image, CarveResult* result) const {
@@ -176,12 +212,9 @@ void Carver::CarveCatalog(ByteView image, CarveResult* result) const {
 }
 
 void Carver::CarveDataPage(ByteView page, size_t page_index,
-                           CarveResult* result) const {
-  const CarvedPage& page_meta = result->pages[page_index];
-  const TableSchema* schema = nullptr;
-  auto schema_it = result->schemas.find(page_meta.object_id);
-  if (schema_it != result->schemas.end()) schema = &schema_it->second;
-
+                           const CarvedPage& page_meta,
+                           const TableSchema* schema,
+                           std::vector<CarvedRecord>* out) const {
   std::set<uint16_t> seen_offsets;
   size_t slot_failures = 0;
   for (uint16_t s = 0; s < page_meta.record_count; ++s) {
@@ -214,7 +247,7 @@ void Carver::CarveDataPage(ByteView page, size_t page_index,
       }
     }
     if (!carved.typed) carved.values = fmt_.DecodeUntyped(*rec);
-    result->records.push_back(std::move(carved));
+    out->push_back(std::move(carved));
   }
 
   // Raw-scan fallback: recover records the slot directory no longer
@@ -241,13 +274,13 @@ void Carver::CarveDataPage(ByteView page, size_t page_index,
       }
     }
     if (!carved.typed) carved.values = fmt_.DecodeUntyped(rec);
-    result->records.push_back(std::move(carved));
+    out->push_back(std::move(carved));
   }
 }
 
 void Carver::CarveIndexPage(ByteView page, size_t page_index,
-                            CarveResult* result) const {
-  const CarvedPage& page_meta = result->pages[page_index];
+                            const CarvedPage& page_meta,
+                            std::vector<CarvedIndexEntry>* out) const {
   for (uint16_t s = 0; s < page_meta.record_count; ++s) {
     auto slot = fmt_.GetSlot(page.data(), s);
     if (!slot.has_value()) continue;
@@ -260,7 +293,7 @@ void Carver::CarveIndexPage(ByteView page, size_t page_index,
     carved.leaf = page_meta.type == PageType::kIndexLeaf;
     carved.keys = std::move(entry->keys);
     carved.pointer = entry->pointer;
-    result->index_entries.push_back(std::move(carved));
+    out->push_back(std::move(carved));
   }
 }
 

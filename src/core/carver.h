@@ -18,6 +18,7 @@
 #ifndef DBFA_CORE_CARVER_H_
 #define DBFA_CORE_CARVER_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/bytes.h"
@@ -36,6 +37,13 @@ struct CarveOptions {
   /// Run the slot-independent raw scan on pages whose slot directory is
   /// missing records or damaged.
   bool raw_scan_fallback = true;
+  /// Worker threads for ParallelCarver; 0 means hardware concurrency.
+  /// Ignored by the serial Carver.
+  size_t num_threads = 0;
+  /// Pages per detection chunk for ParallelCarver; 0 sizes chunks
+  /// automatically from the image and thread count. Ignored by the serial
+  /// Carver. Exposed mainly so tests can force pages onto chunk edges.
+  size_t chunk_pages = 0;
 };
 
 class Carver {
@@ -57,11 +65,32 @@ class Carver {
   /// True when the bytes at `offset` look like a page of this dialect.
   bool LooksLikePage(ByteView image, size_t offset, bool* checksum_ok) const;
 
+  /// Probes one offset; returns the decoded page header when the bytes
+  /// there look like a page of this dialect. Position-independent: reads
+  /// only [offset, offset + page_size).
+  std::optional<CarvedPage> ProbePage(ByteView image, size_t offset) const;
+
+  /// Pass 2: catalog reconstruction over base->pages (reads the page list,
+  /// fills catalog_entries / schemas / indexes / dropped_objects).
   void CarveCatalog(ByteView image, CarveResult* result) const;
-  void CarveDataPage(ByteView page, size_t page_index,
-                     CarveResult* result) const;
+
+  /// Passes 3-4 over pages [begin, end) of base.pages: decodes data and
+  /// index pages in page order, appending to *records and *entries exactly
+  /// as the serial content pass would. `base` supplies page metadata and
+  /// schemas and is never written, so disjoint ranges can run concurrently.
+  void CarveContentRange(ByteView image, const CarveResult& base,
+                         size_t begin, size_t end,
+                         std::vector<CarvedRecord>* records,
+                         std::vector<CarvedIndexEntry>* entries) const;
+
+  void CarveDataPage(ByteView page, size_t page_index, const CarvedPage& meta,
+                     const TableSchema* schema,
+                     std::vector<CarvedRecord>* out) const;
   void CarveIndexPage(ByteView page, size_t page_index,
-                      CarveResult* result) const;
+                      const CarvedPage& meta,
+                      std::vector<CarvedIndexEntry>* out) const;
+
+  friend class ParallelCarver;  // reuses the probe + content helpers
 
   CarverConfig config_;
   PageFormatter fmt_;

@@ -31,6 +31,8 @@ struct Column {
   /// numeric columns.
   uint32_t max_length = 0;
   bool nullable = true;
+
+  bool operator==(const Column&) const = default;
 };
 
 /// Declarative referential-integrity edge (LINEORDER.LO_CUSTKEY →
@@ -39,6 +41,8 @@ struct ForeignKey {
   std::string column;
   std::string ref_table;
   std::string ref_column;
+
+  bool operator==(const ForeignKey&) const = default;
 };
 
 struct TableSchema {
@@ -59,6 +63,8 @@ struct TableSchema {
   /// Single-line serialization stored in catalog records.
   std::string Serialize() const;
   static Result<TableSchema> Deserialize(std::string_view text);
+
+  bool operator==(const TableSchema&) const = default;
 };
 
 }  // namespace dbfa

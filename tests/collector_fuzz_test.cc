@@ -8,8 +8,10 @@
 
 #include <set>
 
+#include "carve_equivalence.h"
 #include "common/rng.h"
 #include "core/carver.h"
+#include "core/parallel_carver.h"
 #include "core/parameter_collector.h"
 #include "engine/database.h"
 
@@ -141,11 +143,21 @@ TEST_P(CollectorFuzzTest, RediscoversRandomLayout) {
                                "(2, 'beta')")
                   .ok());
   ASSERT_TRUE((*db)->ExecuteSql("DELETE FROM Fuzz WHERE a = 1").ok());
+  Bytes disk = (*db)->SnapshotDisk().value();
   Carver carver(*config);
-  auto carve = carver.Carve((*db)->SnapshotDisk().value());
+  auto carve = carver.Carve(disk);
   ASSERT_TRUE(carve.ok());
   EXPECT_EQ(carve->RecordsForTable("Fuzz", RowStatus::kActive).size(), 1u);
   EXPECT_EQ(carve->RecordsForTable("Fuzz", RowStatus::kDeleted).size(), 1u);
+
+  // The parallel chunked pipeline must reproduce the serial carve for
+  // arbitrary layouts (random page sizes, checksums, slot schemes) too.
+  CarveOptions parallel_options;
+  parallel_options.num_threads = 2;
+  parallel_options.chunk_pages = 2;
+  auto parallel = ParallelCarver(*config, parallel_options).Carve(disk);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ExpectSameCarveResult(*carve, *parallel);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomLayouts, CollectorFuzzTest,

@@ -2,12 +2,17 @@
 // producing a court-ready evidence package for the findings.
 //
 //   dbfa_detect <image> <config.conf> <audit.log> [--evidence=DIR]
+//               [--threads=N]
+//
+// --threads=N carves the image with the parallel pipeline (N workers;
+// 0 = hardware concurrency) before analysis; findings are identical.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
 
 #include "core/carver.h"
+#include "core/parallel_carver.h"
 #include "detective/confidence.h"
 #include "detective/evidence.h"
 #include "storage/disk_image.h"
@@ -17,13 +22,19 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: dbfa_detect <image> <config.conf> <audit.log> "
-                 "[--evidence=DIR]\n");
+                 "[--evidence=DIR] [--threads=N]\n");
     return 2;
   }
   std::string evidence_dir;
+  bool parallel = false;
+  CarveOptions options;
   for (int i = 4; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--evidence=", 0) == 0) evidence_dir = arg.substr(11);
+    if (arg.rfind("--threads=", 0) == 0) {
+      options.num_threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
+      parallel = options.num_threads != 1;
+    }
   }
   auto config = LoadConfig(argv[2]);
   if (!config.ok()) {
@@ -40,8 +51,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "log: %s\n", log.status().ToString().c_str());
     return 1;
   }
-  Carver carver(*config);
-  auto carve = carver.Carve(*image);
+  Result<CarveResult> carve =
+      parallel ? ParallelCarver(*config, options).Carve(*image)
+               : Carver(*config, options).Carve(*image);
   if (!carve.ok()) {
     std::fprintf(stderr, "carve: %s\n", carve.status().ToString().c_str());
     return 1;
