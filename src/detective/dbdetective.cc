@@ -1,9 +1,12 @@
 #include "detective/dbdetective.h"
 
 #include <map>
+#include <memory>
 #include <set>
+#include <unordered_map>
 
 #include "common/strings.h"
+#include "sql/bound_expr.h"
 #include "sql/parser.h"
 
 namespace dbfa {
@@ -19,6 +22,100 @@ struct TableLog {
 };
 
 std::string TableKeyOf(const std::string& name) { return ToLower(name); }
+
+/// Parses every log entry and buckets the modification statements per
+/// (lower-cased) table name. `statements` owns the parsed statements the
+/// bucket pointers reference.
+std::map<std::string, TableLog> BucketLogByTable(
+    const AuditLog& log, std::vector<sql::Statement>* statements) {
+  statements->reserve(log.entries().size());
+  for (const AuditEntry& entry : log.entries()) {
+    auto stmt = sql::ParseStatement(entry.sql);
+    if (!stmt.ok()) continue;  // unparseable entries cannot attribute
+    statements->push_back(std::move(stmt).value());
+  }
+  std::map<std::string, TableLog> per_table;
+  for (const sql::Statement& stmt : *statements) {
+    if (const auto* del = std::get_if<sql::DeleteStmt>(&stmt)) {
+      per_table[TableKeyOf(del->table)].deletes.push_back(del);
+      per_table[TableKeyOf(del->table)].mentioned = true;
+    } else if (const auto* up = std::get_if<sql::UpdateStmt>(&stmt)) {
+      per_table[TableKeyOf(up->table)].updates.push_back(up);
+      per_table[TableKeyOf(up->table)].mentioned = true;
+    } else if (const auto* ins = std::get_if<sql::InsertStmt>(&stmt)) {
+      per_table[TableKeyOf(ins->table)].inserts.push_back(ins);
+      per_table[TableKeyOf(ins->table)].mentioned = true;
+    } else if (const auto* drop = std::get_if<sql::DropTableStmt>(&stmt)) {
+      per_table[TableKeyOf(drop->table)].dropped = true;
+      per_table[TableKeyOf(drop->table)].mentioned = true;
+    }
+  }
+  return per_table;
+}
+
+/// A table's logged statements compiled against its carved schema: WHERE
+/// predicates bound to flat column indices, INSERT rows hashed, UPDATE
+/// post-images resolved to column indices. Built once per table object;
+/// the record sweep then never resolves a name or walks an unrelated
+/// statement.
+struct BoundTableLog {
+  bool dropped = false;
+  bool delete_all = false;  // a logged DELETE/UPDATE without WHERE
+  // Predicates that bound successfully; unbindable ones can never match a
+  // carved record (the reference path's per-row eval error) and are
+  // dropped at compile time.
+  std::vector<sql::BoundExprPtr> delete_preds;  // DELETE + UPDATE pre-image
+  // INSERT row lookup: hash of the record -> candidate rows.
+  std::unordered_map<size_t, std::vector<const Record*>> insert_rows;
+  // UPDATE post-images with every SET column resolved.
+  std::vector<std::vector<std::pair<size_t, const Value*>>> update_images;
+};
+
+BoundTableLog CompileTableLog(const TableLog& tlog,
+                              const TableSchema& schema) {
+  BoundTableLog bound;
+  bound.dropped = tlog.dropped;
+  std::vector<std::string> columns;
+  columns.reserve(schema.columns.size());
+  for (const Column& c : schema.columns) columns.push_back(c.name);
+  sql::ColumnResolver resolver =
+      sql::MakeSchemaResolver(std::move(columns), schema.name);
+
+  auto compile_pred = [&](const sql::ExprPtr& where) {
+    if (where == nullptr) {
+      bound.delete_all = true;
+      return;
+    }
+    auto b = sql::BindExpr(*where, resolver);
+    if (b.ok()) bound.delete_preds.push_back(std::move(b).value());
+  };
+  for (const sql::DeleteStmt* del : tlog.deletes) compile_pred(del->where);
+  // The pre-image of a logged UPDATE is also a legitimate deleted record:
+  // its values satisfy the UPDATE's predicate.
+  for (const sql::UpdateStmt* up : tlog.updates) compile_pred(up->where);
+
+  for (const sql::InsertStmt* ins : tlog.inserts) {
+    for (const Record& row : ins->rows) {
+      bound.insert_rows[HashRecord(row)].push_back(&row);
+    }
+  }
+  for (const sql::UpdateStmt* up : tlog.updates) {
+    if (up->assignments.empty()) continue;
+    std::vector<std::pair<size_t, const Value*>> image;
+    image.reserve(up->assignments.size());
+    bool ok = true;
+    for (const auto& [col, value] : up->assignments) {
+      int ci = schema.ColumnIndex(col);
+      if (ci < 0) {
+        ok = false;  // unresolvable SET column: post-image never matches
+        break;
+      }
+      image.emplace_back(static_cast<size_t>(ci), &value);
+    }
+    if (ok) bound.update_images.push_back(std::move(image));
+  }
+  return bound;
+}
 
 }  // namespace
 
@@ -57,30 +154,97 @@ std::string DetectiveReport::ToString() const {
 Result<std::vector<UnattributedModification>>
 DbDetective::FindUnattributedModifications(size_t* deleted_checked,
                                            size_t* active_checked) const {
-  // Parse the log once; keep statement storage alive alongside pointers.
-  std::vector<sql::Statement> statements;
-  statements.reserve(log_->entries().size());
-  std::map<std::string, TableLog> per_table;
-  for (const AuditEntry& entry : log_->entries()) {
-    auto stmt = sql::ParseStatement(entry.sql);
-    if (!stmt.ok()) continue;  // unparseable entries cannot attribute
-    statements.push_back(std::move(stmt).value());
+  if (options_.prebind) {
+    return FindUnattributedModificationsPrebound(deleted_checked,
+                                                 active_checked);
   }
-  for (const sql::Statement& stmt : statements) {
-    if (const auto* del = std::get_if<sql::DeleteStmt>(&stmt)) {
-      per_table[TableKeyOf(del->table)].deletes.push_back(del);
-      per_table[TableKeyOf(del->table)].mentioned = true;
-    } else if (const auto* up = std::get_if<sql::UpdateStmt>(&stmt)) {
-      per_table[TableKeyOf(up->table)].updates.push_back(up);
-      per_table[TableKeyOf(up->table)].mentioned = true;
-    } else if (const auto* ins = std::get_if<sql::InsertStmt>(&stmt)) {
-      per_table[TableKeyOf(ins->table)].inserts.push_back(ins);
-      per_table[TableKeyOf(ins->table)].mentioned = true;
-    } else if (const auto* drop = std::get_if<sql::DropTableStmt>(&stmt)) {
-      per_table[TableKeyOf(drop->table)].dropped = true;
-      per_table[TableKeyOf(drop->table)].mentioned = true;
+  return FindUnattributedModificationsReference(deleted_checked,
+                                                active_checked);
+}
+
+Result<std::vector<UnattributedModification>>
+DbDetective::FindUnattributedModificationsPrebound(
+    size_t* deleted_checked, size_t* active_checked) const {
+  std::vector<sql::Statement> statements;
+  std::map<std::string, TableLog> per_table =
+      BucketLogByTable(*log_, &statements);
+
+  // Compile each carved table's logged statements once, keyed by the
+  // record's object id so the sweep below does no string work at all.
+  std::unordered_map<uint32_t, BoundTableLog> bound_logs;
+  for (const auto& [object_id, schema] : disk_->schemas) {
+    bound_logs.emplace(object_id,
+                       CompileTableLog(per_table[TableKeyOf(schema.name)],
+                                       schema));
+  }
+
+  std::vector<UnattributedModification> out;
+  size_t deleted_count = 0;
+  size_t active_count = 0;
+  for (const CarvedRecord& r : disk_->records) {
+    auto schema_it = disk_->schemas.find(r.object_id);
+    if (schema_it == disk_->schemas.end()) continue;
+    const TableSchema& schema = schema_it->second;
+    if (!r.typed || r.values.size() != schema.columns.size()) continue;
+    const BoundTableLog& tlog = bound_logs.find(r.object_id)->second;
+
+    if (r.status == RowStatus::kDeleted) {
+      ++deleted_count;
+      bool attributed = tlog.dropped || tlog.delete_all;
+      for (const sql::BoundExprPtr& pred : tlog.delete_preds) {
+        if (attributed) break;
+        auto match = sql::EvalBoundPredicate(*pred, r.values);
+        if (match.ok() && *match) attributed = true;
+      }
+      if (!attributed) {
+        out.push_back({UnattributedModification::Kind::kDelete, schema.name,
+                       r.values, r.page_id, r.slot,
+                       "no logged DELETE/UPDATE predicate matches this "
+                       "deleted record"});
+      }
+    } else {
+      ++active_count;
+      bool attributed = false;
+      auto bucket = tlog.insert_rows.find(HashRecord(r.values));
+      if (bucket != tlog.insert_rows.end()) {
+        for (const Record* row : bucket->second) {
+          if (CompareRecords(*row, r.values) == 0) {
+            attributed = true;
+            break;
+          }
+        }
+      }
+      // The post-image of a logged UPDATE: all SET values must be present.
+      for (const auto& image : tlog.update_images) {
+        if (attributed) break;
+        bool consistent = true;
+        for (const auto& [ci, value] : image) {
+          if (!(r.values[ci] == *value)) {
+            consistent = false;
+            break;
+          }
+        }
+        if (consistent) attributed = true;
+      }
+      if (!attributed) {
+        out.push_back({UnattributedModification::Kind::kInsert, schema.name,
+                       r.values, r.page_id, r.slot,
+                       "no logged INSERT/UPDATE produces this record"});
+      }
     }
   }
+  if (deleted_checked != nullptr) *deleted_checked = deleted_count;
+  if (active_checked != nullptr) *active_checked = active_count;
+  return out;
+}
+
+Result<std::vector<UnattributedModification>>
+DbDetective::FindUnattributedModificationsReference(
+    size_t* deleted_checked, size_t* active_checked) const {
+  // Parse the log once; keep statement storage alive alongside pointers.
+  std::vector<sql::Statement> statements;
+  std::map<std::string, TableLog> per_table =
+      BucketLogByTable(*log_, &statements);
 
   std::vector<UnattributedModification> out;
   size_t deleted_count = 0;

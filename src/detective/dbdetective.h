@@ -60,14 +60,26 @@ struct DetectiveReport {
   std::string ToString() const;
 };
 
+/// Tuning knobs for DbDetective.
+struct DetectiveOptions {
+  /// When true (default), every logged DELETE/UPDATE predicate is bound to
+  /// its table's carved schema once and logged statements are bucketed per
+  /// table object before the record sweep, so matching never re-resolves
+  /// column names per carved record. When false the original
+  /// name-resolving tuple-at-a-time path runs — retained as a reference
+  /// implementation for differential tests and benchmarks.
+  bool prebind = true;
+};
+
 class DbDetective {
  public:
   /// `disk` is the carve of the storage image; `log` the recovered audit
   /// log; `ram` (optional) the carve of a memory snapshot for read
   /// detection.
   DbDetective(const CarveResult* disk, const AuditLog* log,
-              const CarveResult* ram = nullptr)
-      : disk_(disk), log_(log), ram_(ram) {}
+              const CarveResult* ram = nullptr,
+              DetectiveOptions options = {})
+      : disk_(disk), log_(log), ram_(ram), options_(options) {}
 
   Result<DetectiveReport> Analyze() const;
 
@@ -80,9 +92,17 @@ class DbDetective {
   Result<std::vector<UnloggedAccess>> FindUnloggedReads() const;
 
  private:
+  Result<std::vector<UnattributedModification>>
+  FindUnattributedModificationsPrebound(size_t* deleted_checked,
+                                        size_t* active_checked) const;
+  Result<std::vector<UnattributedModification>>
+  FindUnattributedModificationsReference(size_t* deleted_checked,
+                                         size_t* active_checked) const;
+
   const CarveResult* disk_;
   const AuditLog* log_;
   const CarveResult* ram_;
+  DetectiveOptions options_;
 };
 
 }  // namespace dbfa

@@ -1,0 +1,26 @@
+// The batched meta-query executor: every column reference, ORDER BY key,
+// and GROUP BY key is bound to a flat index once at plan time, then
+// scan -> filter -> project (or aggregate) runs over fixed-size row
+// batches fanned out on a ThreadPool with deterministic in-order
+// concatenation. See docs/metaquery_engine.md for the design and its
+// determinism argument.
+#ifndef DBFA_METAQUERY_BATCH_EXECUTOR_H_
+#define DBFA_METAQUERY_BATCH_EXECUTOR_H_
+
+#include "common/thread_pool.h"
+#include "metaquery/exec_common.h"
+#include "metaquery/session.h"
+
+namespace dbfa::metaquery_internal {
+
+/// Executes `stmt` in batches of `batch_rows` rows. When `pool` is
+/// non-null its workers process batches concurrently; results are
+/// identical for any pool size because batch geometry depends only on
+/// `batch_rows` and outputs are concatenated in batch order.
+Result<QueryTable> ExecuteBatched(const sql::SelectStmt& stmt,
+                                  const RelationResolver& lookup,
+                                  size_t batch_rows, ThreadPool* pool);
+
+}  // namespace dbfa::metaquery_internal
+
+#endif  // DBFA_METAQUERY_BATCH_EXECUTOR_H_

@@ -1,0 +1,139 @@
+#include "metaquery/exec_common.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dbfa::metaquery_internal {
+
+void FrameSet::Add(const std::string& qualifier,
+                   const std::vector<std::string>& cols) {
+  frames.push_back({qualifier, cols, width});
+  width += cols.size();
+}
+
+std::optional<size_t> FrameSet::Resolve(std::string_view name) const {
+  std::string_view qualifier;
+  std::string_view bare = name;
+  size_t dot = name.find('.');
+  if (dot != std::string_view::npos) {
+    qualifier = name.substr(0, dot);
+    bare = name.substr(dot + 1);
+  }
+  for (const Frame& f : frames) {
+    if (!qualifier.empty() && !EqualsIgnoreCase(f.qualifier, qualifier)) {
+      continue;
+    }
+    for (size_t i = 0; i < f.cols.size(); ++i) {
+      if (EqualsIgnoreCase(f.cols[i], bare)) return f.offset + i;
+    }
+  }
+  return std::nullopt;
+}
+
+void Accumulator::Add(const Value& v) {
+  if (v.is_null()) return;
+  ++count;
+  if (v.type() == ValueType::kInt && sum_is_int) {
+    isum += v.as_int();
+  } else if (v.type() == ValueType::kInt || v.type() == ValueType::kDouble) {
+    if (sum_is_int) {
+      dsum = static_cast<double>(isum);
+      sum_is_int = false;
+    }
+    dsum += v.NumericValue();
+  }
+  if (!has_minmax) {
+    min_v = v;
+    max_v = v;
+    has_minmax = true;
+  } else {
+    if (Value::Compare(v, min_v) < 0) min_v = v;
+    if (Value::Compare(v, max_v) > 0) max_v = v;
+  }
+}
+
+void Accumulator::Merge(const Accumulator& other) {
+  count += other.count;
+  if (sum_is_int && other.sum_is_int) {
+    isum += other.isum;
+  } else {
+    double a = sum_is_int ? static_cast<double>(isum) : dsum;
+    double b = other.sum_is_int ? static_cast<double>(other.isum) : other.dsum;
+    sum_is_int = false;
+    dsum = a + b;
+  }
+  if (other.has_minmax) {
+    if (!has_minmax) {
+      min_v = other.min_v;
+      max_v = other.max_v;
+      has_minmax = true;
+    } else {
+      // Strict comparisons keep the earliest-seen value among Compare-equal
+      // candidates, matching sequential accumulation when partials merge in
+      // input order.
+      if (Value::Compare(other.min_v, min_v) < 0) min_v = other.min_v;
+      if (Value::Compare(other.max_v, max_v) > 0) max_v = other.max_v;
+    }
+  }
+}
+
+Value Accumulator::Final(sql::AggFunc f) const {
+  switch (f) {
+    case sql::AggFunc::kCount:
+      return Value::Int(count);
+    case sql::AggFunc::kSum:
+      if (count == 0) return Value::Null();
+      return sum_is_int ? Value::Int(isum) : Value::Real(dsum);
+    case sql::AggFunc::kMin:
+      return has_minmax ? min_v : Value::Null();
+    case sql::AggFunc::kMax:
+      return has_minmax ? max_v : Value::Null();
+    case sql::AggFunc::kAvg: {
+      if (count == 0) return Value::Null();
+      double total = sum_is_int ? static_cast<double>(isum) : dsum;
+      return Value::Real(total / static_cast<double>(count));
+    }
+    case sql::AggFunc::kNone:
+      break;
+  }
+  return Value::Null();
+}
+
+Status SortAndLimit(const sql::SelectStmt& stmt,
+                    std::vector<std::string>* columns,
+                    std::vector<Record>* rows) {
+  if (!stmt.order_by.empty()) {
+    std::vector<int> idx;
+    std::vector<bool> desc;
+    for (const sql::OrderKey& key : stmt.order_by) {
+      int found = -1;
+      for (size_t i = 0; i < columns->size(); ++i) {
+        if (EqualsIgnoreCase((*columns)[i], key.column)) {
+          found = static_cast<int>(i);
+          break;
+        }
+      }
+      if (found < 0) {
+        return Status::InvalidArgument("ORDER BY unknown column: " +
+                                       key.column);
+      }
+      idx.push_back(found);
+      desc.push_back(key.descending);
+    }
+    std::stable_sort(rows->begin(), rows->end(),
+                     [&](const Record& a, const Record& b) {
+                       for (size_t k = 0; k < idx.size(); ++k) {
+                         int c = Value::Compare(a[idx[k]], b[idx[k]]);
+                         if (c != 0) return desc[k] ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+  if (stmt.limit >= 0 && rows->size() > static_cast<size_t>(stmt.limit)) {
+    rows->resize(static_cast<size_t>(stmt.limit));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dbfa::metaquery_internal

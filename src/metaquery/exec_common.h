@@ -1,0 +1,69 @@
+// Internals shared by the two meta-query executors: the batched engine
+// (batch_executor.cc, the default) and the tuple-at-a-time reference
+// implementation (reference_executor.cc, kept for differential testing).
+// Not part of the public metaquery API.
+#ifndef DBFA_METAQUERY_EXEC_COMMON_H_
+#define DBFA_METAQUERY_EXEC_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metaquery/relation.h"
+#include "sql/statement.h"
+
+namespace dbfa::metaquery_internal {
+
+/// Resolves a relation name for the executors (bound to
+/// MetaQuerySession::Lookup).
+using RelationResolver =
+    std::function<Result<std::shared_ptr<Relation>>(const std::string&)>;
+
+/// Column namespace of the rows flowing through the executor: one frame per
+/// joined relation, rows are frame-concatenated records.
+struct FrameSet {
+  struct Frame {
+    std::string qualifier;  // alias or table name
+    std::vector<std::string> cols;
+    size_t offset = 0;
+  };
+  std::vector<Frame> frames;
+  size_t width = 0;
+
+  void Add(const std::string& qualifier, const std::vector<std::string>& cols);
+
+  /// Resolves "name" or "qualifier.name" to a global column index.
+  std::optional<size_t> Resolve(std::string_view name) const;
+};
+
+/// Streaming aggregate state for one SELECT item.
+struct Accumulator {
+  int64_t count = 0;
+  bool sum_is_int = true;
+  int64_t isum = 0;
+  double dsum = 0;
+  Value min_v;
+  Value max_v;
+  bool has_minmax = false;
+
+  void Add(const Value& v);
+
+  /// Folds another accumulator in. Merging partials in input-batch order
+  /// reproduces the sequential result exactly for COUNT/MIN/MAX and for
+  /// integer sums; double sums re-associate (see docs/metaquery_engine.md).
+  void Merge(const Accumulator& other);
+
+  Value Final(sql::AggFunc f) const;
+};
+
+/// Applies ORDER BY (resolved once against the output column names) and
+/// LIMIT to a finished result table.
+Status SortAndLimit(const sql::SelectStmt& stmt,
+                    std::vector<std::string>* columns,
+                    std::vector<Record>* rows);
+
+}  // namespace dbfa::metaquery_internal
+
+#endif  // DBFA_METAQUERY_EXEC_COMMON_H_

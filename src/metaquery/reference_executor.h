@@ -1,0 +1,24 @@
+// The original tuple-at-a-time meta-query executor, retained verbatim-in-
+// spirit as the behavioral reference for the batched engine: every name is
+// re-resolved per row, evaluation is row-by-row, and aggregation uses an
+// ordered map. Differential tests (tests/metaquery_differential_test.cc)
+// pit the batched executor against this one at several thread counts.
+//
+// The only change from the historical implementation is the join hash
+// table: buckets keep right-relation scan order, so duplicate-key matches
+// are emitted in a defined order both executors share (the historical
+// unordered_multimap order was unspecified).
+#ifndef DBFA_METAQUERY_REFERENCE_EXECUTOR_H_
+#define DBFA_METAQUERY_REFERENCE_EXECUTOR_H_
+
+#include "metaquery/exec_common.h"
+#include "metaquery/session.h"
+
+namespace dbfa::metaquery_internal {
+
+Result<QueryTable> ExecuteReference(const sql::SelectStmt& stmt,
+                                    const RelationResolver& lookup);
+
+}  // namespace dbfa::metaquery_internal
+
+#endif  // DBFA_METAQUERY_REFERENCE_EXECUTOR_H_

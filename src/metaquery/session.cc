@@ -1,198 +1,69 @@
 #include "metaquery/session.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/strings.h"
+#include "metaquery/batch_executor.h"
+#include "metaquery/reference_executor.h"
 
 namespace dbfa {
-namespace {
-
-/// Column namespace of the rows flowing through the executor: one frame per
-/// joined relation, rows are frame-concatenated records.
-struct FrameSet {
-  struct Frame {
-    std::string qualifier;  // alias or table name
-    std::vector<std::string> cols;
-    size_t offset = 0;
-  };
-  std::vector<Frame> frames;
-  size_t width = 0;
-
-  void Add(const std::string& qualifier,
-           const std::vector<std::string>& cols) {
-    frames.push_back({qualifier, cols, width});
-    width += cols.size();
-  }
-
-  /// Resolves "name" or "qualifier.name" to a global column index.
-  std::optional<size_t> Resolve(std::string_view name) const {
-    std::string_view qualifier;
-    std::string_view bare = name;
-    size_t dot = name.find('.');
-    if (dot != std::string_view::npos) {
-      qualifier = name.substr(0, dot);
-      bare = name.substr(dot + 1);
-    }
-    for (const Frame& f : frames) {
-      if (!qualifier.empty() && !EqualsIgnoreCase(f.qualifier, qualifier)) {
-        continue;
-      }
-      for (size_t i = 0; i < f.cols.size(); ++i) {
-        if (EqualsIgnoreCase(f.cols[i], bare)) return f.offset + i;
-      }
-    }
-    return std::nullopt;
-  }
-};
-
-class FrameBinding : public sql::ColumnBinding {
- public:
-  FrameBinding(const FrameSet& frames, const Record& row)
-      : frames_(frames), row_(row) {}
-
-  std::optional<Value> Lookup(std::string_view name) const override {
-    auto idx = frames_.Resolve(name);
-    if (!idx.has_value() || *idx >= row_.size()) return std::nullopt;
-    return row_[*idx];
-  }
-
- private:
-  const FrameSet& frames_;
-  const Record& row_;
-};
-
-struct Accumulator {
-  int64_t count = 0;
-  bool sum_is_int = true;
-  int64_t isum = 0;
-  double dsum = 0;
-  Value min_v;
-  Value max_v;
-  bool has_minmax = false;
-
-  void Add(const Value& v) {
-    if (v.is_null()) return;
-    ++count;
-    if (v.type() == ValueType::kInt && sum_is_int) {
-      isum += v.as_int();
-    } else if (v.type() == ValueType::kInt || v.type() == ValueType::kDouble) {
-      if (sum_is_int) {
-        dsum = static_cast<double>(isum);
-        sum_is_int = false;
-      }
-      dsum += v.NumericValue();
-    }
-    if (!has_minmax) {
-      min_v = v;
-      max_v = v;
-      has_minmax = true;
-    } else {
-      if (Value::Compare(v, min_v) < 0) min_v = v;
-      if (Value::Compare(v, max_v) > 0) max_v = v;
-    }
-  }
-
-  Value Final(sql::AggFunc f) const {
-    switch (f) {
-      case sql::AggFunc::kCount:
-        return Value::Int(count);
-      case sql::AggFunc::kSum:
-        if (count == 0) return Value::Null();
-        return sum_is_int ? Value::Int(isum) : Value::Real(dsum);
-      case sql::AggFunc::kMin:
-        return has_minmax ? min_v : Value::Null();
-      case sql::AggFunc::kMax:
-        return has_minmax ? max_v : Value::Null();
-      case sql::AggFunc::kAvg: {
-        if (count == 0) return Value::Null();
-        double total = sum_is_int ? static_cast<double>(isum) : dsum;
-        return Value::Real(total / static_cast<double>(count));
-      }
-      case sql::AggFunc::kNone:
-        break;
-    }
-    return Value::Null();
-  }
-};
-
-struct RecordLess {
-  bool operator()(const Record& a, const Record& b) const {
-    return CompareRecords(a, b) < 0;
-  }
-};
-
-Status SortAndLimit(const sql::SelectStmt& stmt, QueryTable* out) {
-  if (!stmt.order_by.empty()) {
-    std::vector<int> idx;
-    std::vector<bool> desc;
-    for (const sql::OrderKey& key : stmt.order_by) {
-      int found = -1;
-      for (size_t i = 0; i < out->columns.size(); ++i) {
-        if (EqualsIgnoreCase(out->columns[i], key.column)) {
-          found = static_cast<int>(i);
-          break;
-        }
-      }
-      if (found < 0) {
-        return Status::InvalidArgument("ORDER BY unknown column: " +
-                                       key.column);
-      }
-      idx.push_back(found);
-      desc.push_back(key.descending);
-    }
-    std::stable_sort(out->rows.begin(), out->rows.end(),
-                     [&](const Record& a, const Record& b) {
-                       for (size_t k = 0; k < idx.size(); ++k) {
-                         int c = Value::Compare(a[idx[k]], b[idx[k]]);
-                         if (c != 0) return desc[k] ? c > 0 : c < 0;
-                       }
-                       return false;
-                     });
-  }
-  if (stmt.limit >= 0 &&
-      out->rows.size() > static_cast<size_t>(stmt.limit)) {
-    out->rows.resize(static_cast<size_t>(stmt.limit));
-  }
-  return Status::Ok();
-}
-
-}  // namespace
 
 std::string QueryTable::ToText(size_t max_rows) const {
+  size_t shown = std::min(rows.size(), max_rows);
+  // Pass 1: column widths. Cell renderings are recomputed in pass 2 rather
+  // than materialized, so memory stays bounded by one row regardless of
+  // how many rows are shown.
   std::vector<size_t> widths(columns.size());
   for (size_t i = 0; i < columns.size(); ++i) widths[i] = columns[i].size();
-  size_t shown = std::min(rows.size(), max_rows);
-  std::vector<std::vector<std::string>> cells(shown);
   for (size_t r = 0; r < shown; ++r) {
-    for (size_t i = 0; i < columns.size(); ++i) {
-      std::string cell = i < rows[r].size() ? rows[r][i].ToString() : "";
-      widths[i] = std::max(widths[i], cell.size());
-      cells[r].push_back(std::move(cell));
+    for (size_t i = 0; i < columns.size() && i < rows[r].size(); ++i) {
+      widths[i] = std::max(widths[i], rows[r][i].ToString().size());
     }
   }
+  // Every emitted line has the same width; reserve the whole rendering up
+  // front so repeated appends never reallocate.
+  size_t line = 2;  // trailing "|\n"
+  for (size_t w : widths) line += w + 3;
   std::string out;
-  auto emit_row = [&](const std::vector<std::string>& row) {
-    for (size_t i = 0; i < columns.size(); ++i) {
-      out += "| ";
-      const std::string& cell = i < row.size() ? row[i] : "";
-      out += cell;
-      out.append(widths[i] - cell.size() + 1, ' ');
-    }
-    out += "|\n";
+  out.reserve(line * (shown + 2) + 48);
+  auto emit_cell = [&](const std::string& cell, size_t i) {
+    out += "| ";
+    out += cell;
+    out.append(widths[i] - cell.size() + 1, ' ');
   };
-  emit_row(columns);
-  out += "|";
+  for (size_t i = 0; i < columns.size(); ++i) emit_cell(columns[i], i);
+  out += "|\n|";
   for (size_t i = 0; i < columns.size(); ++i) {
     out.append(widths[i] + 2, '-');
     out += "|";
   }
   out += "\n";
-  for (const auto& row : cells) emit_row(row);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      emit_cell(i < rows[r].size() ? rows[r][i].ToString() : "", i);
+    }
+    out += "|\n";
+  }
   if (rows.size() > shown) {
     out += StrFormat("... (%zu more rows)\n", rows.size() - shown);
   }
   return out;
+}
+
+MetaQuerySession::MetaQuerySession(MetaQueryOptions options)
+    : options_(options) {}
+
+void MetaQuerySession::set_options(const MetaQueryOptions& options) {
+  if (options.num_threads != options_.num_threads) pool_.reset();
+  options_ = options;
+}
+
+ThreadPool* MetaQuerySession::PoolForQuery() {
+  size_t threads = options_.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                             : options_.num_threads;
+  if (threads <= 1) return nullptr;
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads);
+  return pool_.get();
 }
 
 void MetaQuerySession::Register(const std::string& name,
@@ -202,10 +73,30 @@ void MetaQuerySession::Register(const std::string& name,
 }
 
 Status MetaQuerySession::RegisterCarve(const CarveResult& carve,
-                                       const std::string& prefix) {
+                                       const std::string& prefix,
+                                       std::vector<std::string>* skipped) {
   for (const auto& [object_id, schema] : carve.schemas) {
+    // MakeCarvedRelation resolves by name; a same-named schema carved
+    // earlier (dropped-and-recreated table) would silently shadow this
+    // object's records.
+    if (carve.ObjectIdByName(schema.name) != object_id) {
+      if (skipped != nullptr) {
+        skipped->push_back(StrFormat(
+            "%s (object %u): shadowed by an earlier carved schema with the "
+            "same name",
+            schema.name.c_str(), object_id));
+      }
+      continue;
+    }
     auto relation = MakeCarvedRelation(carve, schema.name);
-    if (!relation.ok()) continue;
+    if (!relation.ok()) {
+      if (skipped != nullptr) {
+        skipped->push_back(StrFormat("%s (object %u): %s",
+                                     schema.name.c_str(), object_id,
+                                     relation.status().ToString().c_str()));
+      }
+      continue;
+    }
     Register(prefix + schema.name, std::move(relation).value());
   }
   return Status::Ok();
@@ -245,168 +136,13 @@ Result<QueryTable> MetaQuerySession::Query(const std::string& select_sql) {
 }
 
 Result<QueryTable> MetaQuerySession::Execute(const sql::SelectStmt& stmt) {
-  // 1. FROM + JOINs -> frame-concatenated working rows.
-  DBFA_ASSIGN_OR_RETURN(auto base, Lookup(stmt.from.table));
-  FrameSet frames;
-  frames.Add(stmt.from.EffectiveName(), base->columns());
-  std::vector<Record> rows;
-  DBFA_RETURN_IF_ERROR(base->Scan([&](const Record& r) {
-    rows.push_back(r);
-    return Status::Ok();
-  }));
-
-  for (const sql::JoinClause& join : stmt.joins) {
-    DBFA_ASSIGN_OR_RETURN(auto right, Lookup(join.table.table));
-    FrameSet right_frame;
-    right_frame.Add(join.table.EffectiveName(), right->columns());
-    // Decide which join column belongs to the already-joined side.
-    std::string left_col = join.left_column;
-    std::string right_col = join.right_column;
-    if (!frames.Resolve(left_col).has_value()) std::swap(left_col, right_col);
-    auto left_idx = frames.Resolve(left_col);
-    auto right_idx = right_frame.Resolve(right_col);
-    if (!left_idx.has_value() || !right_idx.has_value()) {
-      return Status::InvalidArgument(
-          StrFormat("cannot resolve join condition %s = %s",
-                    join.left_column.c_str(), join.right_column.c_str()));
-    }
-    // Build hash table over the right relation.
-    std::unordered_multimap<size_t, Record> hash;
-    DBFA_RETURN_IF_ERROR(right->Scan([&](const Record& r) {
-      const Value& key = r[*right_idx];
-      if (!key.is_null()) hash.emplace(key.Hash(), r);
-      return Status::Ok();
-    }));
-    std::vector<Record> joined;
-    for (const Record& left_row : rows) {
-      const Value& key = left_row[*left_idx];
-      if (key.is_null()) continue;
-      auto [lo, hi] = hash.equal_range(key.Hash());
-      for (auto it = lo; it != hi; ++it) {
-        if (Value::Compare(it->second[*right_idx], key) != 0) continue;
-        Record combined = left_row;
-        combined.insert(combined.end(), it->second.begin(),
-                        it->second.end());
-        joined.push_back(std::move(combined));
-      }
-    }
-    rows = std::move(joined);
-    frames.Add(join.table.EffectiveName(), right->columns());
+  metaquery_internal::RelationResolver lookup =
+      [this](const std::string& name) { return Lookup(name); };
+  if (options_.use_reference) {
+    return metaquery_internal::ExecuteReference(stmt, lookup);
   }
-
-  // 2. WHERE.
-  if (stmt.where != nullptr) {
-    std::vector<Record> kept;
-    for (Record& row : rows) {
-      FrameBinding binding(frames, row);
-      DBFA_ASSIGN_OR_RETURN(bool pass,
-                            sql::EvalPredicate(*stmt.where, binding));
-      if (pass) kept.push_back(std::move(row));
-    }
-    rows = std::move(kept);
-  }
-
-  QueryTable out;
-  // 3a. Aggregation path.
-  if (stmt.HasAggregates() || !stmt.group_by.empty()) {
-    for (const sql::SelectItem& item : stmt.items) {
-      if (item.star && item.agg == sql::AggFunc::kNone) {
-        return Status::InvalidArgument("SELECT * with aggregates");
-      }
-      out.columns.push_back(item.OutputName());
-    }
-    std::map<Record, std::pair<Record, std::vector<Accumulator>>, RecordLess>
-        groups;  // key -> (first row, accumulators)
-    for (const Record& row : rows) {
-      FrameBinding binding(frames, row);
-      Record key;
-      for (const std::string& col : stmt.group_by) {
-        auto v = binding.Lookup(col);
-        if (!v.has_value()) {
-          return Status::InvalidArgument("GROUP BY unknown column: " + col);
-        }
-        key.push_back(*v);
-      }
-      auto it = groups.find(key);
-      if (it == groups.end()) {
-        it = groups
-                 .emplace(std::move(key),
-                          std::make_pair(row, std::vector<Accumulator>(
-                                                  stmt.items.size())))
-                 .first;
-      }
-      for (size_t i = 0; i < stmt.items.size(); ++i) {
-        const sql::SelectItem& item = stmt.items[i];
-        if (item.agg == sql::AggFunc::kNone) continue;
-        if (item.star) {
-          it->second.second[i].Add(Value::Int(1));  // COUNT(*)
-          continue;
-        }
-        DBFA_ASSIGN_OR_RETURN(Value v, sql::Eval(*item.expr, binding));
-        it->second.second[i].Add(v);
-      }
-    }
-    if (groups.empty() && stmt.group_by.empty()) {
-      // Aggregates over an empty input produce one row.
-      Record row;
-      Accumulator empty;
-      for (const sql::SelectItem& item : stmt.items) {
-        if (item.agg == sql::AggFunc::kNone) {
-          return Status::InvalidArgument(
-              "non-aggregate item over empty ungrouped input");
-        }
-        row.push_back(empty.Final(item.agg));
-      }
-      out.rows.push_back(std::move(row));
-    }
-    for (auto& [key, group] : groups) {
-      Record row;
-      FrameBinding binding(frames, group.first);
-      for (size_t i = 0; i < stmt.items.size(); ++i) {
-        const sql::SelectItem& item = stmt.items[i];
-        if (item.agg != sql::AggFunc::kNone) {
-          row.push_back(group.second[i].Final(item.agg));
-        } else {
-          // Non-aggregate items take their value from the group's
-          // representative row (valid for grouped columns).
-          DBFA_ASSIGN_OR_RETURN(Value v, sql::Eval(*item.expr, binding));
-          row.push_back(std::move(v));
-        }
-      }
-      out.rows.push_back(std::move(row));
-    }
-    DBFA_RETURN_IF_ERROR(SortAndLimit(stmt, &out));
-    return out;
-  }
-
-  // 3b. Plain projection.
-  std::vector<const sql::Expr*> exprs;
-  for (const sql::SelectItem& item : stmt.items) {
-    if (item.star) {
-      for (const FrameSet::Frame& f : frames.frames) {
-        for (const std::string& c : f.cols) out.columns.push_back(c);
-      }
-      exprs.push_back(nullptr);
-    } else {
-      out.columns.push_back(item.OutputName());
-      exprs.push_back(item.expr.get());
-    }
-  }
-  for (const Record& row : rows) {
-    Record projected;
-    FrameBinding binding(frames, row);
-    for (const sql::Expr* e : exprs) {
-      if (e == nullptr) {
-        projected.insert(projected.end(), row.begin(), row.end());
-      } else {
-        DBFA_ASSIGN_OR_RETURN(Value v, sql::Eval(*e, binding));
-        projected.push_back(std::move(v));
-      }
-    }
-    out.rows.push_back(std::move(projected));
-  }
-  DBFA_RETURN_IF_ERROR(SortAndLimit(stmt, &out));
-  return out;
+  return metaquery_internal::ExecuteBatched(stmt, lookup, options_.batch_rows,
+                                            PoolForQuery());
 }
 
 }  // namespace dbfa

@@ -8,13 +8,20 @@
 // Supports filters, inner equi-joins, arithmetic, aggregates
 // (COUNT/SUM/MIN/MAX/AVG) with GROUP BY, ORDER BY, and LIMIT — enough to
 // run the full SSBM query suite for the anti-forensics evaluation.
+//
+// Two executors back the session: the default batched engine binds every
+// column reference to a flat index at plan time and fans row batches out
+// on a thread pool (docs/metaquery_engine.md), and a tuple-at-a-time
+// reference implementation is retained for differential testing.
 #ifndef DBFA_METAQUERY_SESSION_H_
 #define DBFA_METAQUERY_SESSION_H_
 
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "metaquery/relation.h"
 #include "sql/parser.h"
 
@@ -29,14 +36,35 @@ struct QueryTable {
   std::string ToText(size_t max_rows = 50) const;
 };
 
+/// Execution knobs for MetaQuerySession.
+struct MetaQueryOptions {
+  /// Worker threads for batched execution: 1 runs inline on the calling
+  /// thread, 0 means hardware concurrency.
+  size_t num_threads = 1;
+  /// Rows per execution batch. Batch geometry depends only on this value —
+  /// never on num_threads — so results are identical at every thread
+  /// count (see docs/metaquery_engine.md).
+  size_t batch_rows = 1024;
+  /// Run the retained tuple-at-a-time reference executor instead of the
+  /// batched engine (differential tests and benchmarks).
+  bool use_reference = false;
+};
+
 class MetaQuerySession {
  public:
+  explicit MetaQuerySession(MetaQueryOptions options = {});
+
   /// Registers a relation under `name` (case-insensitive; last wins).
   void Register(const std::string& name, std::shared_ptr<Relation> relation);
 
   /// Registers every schema-bearing table of a carve result as
-  /// "<prefix><TableName>" (e.g. prefix "Carv" -> CarvCustomer).
-  Status RegisterCarve(const CarveResult& carve, const std::string& prefix);
+  /// "<prefix><TableName>" (e.g. prefix "Carv" -> CarvCustomer). Tables
+  /// that cannot be registered — relation construction failed, or the
+  /// table's name is shadowed by an earlier carved schema with the same
+  /// name (dropped-and-recreated tables) — are reported through `skipped`
+  /// (as "<name> (object <id>): <why>") instead of being dropped silently.
+  Status RegisterCarve(const CarveResult& carve, const std::string& prefix,
+                       std::vector<std::string>* skipped = nullptr);
 
   /// Registers every live table of a database under its own name.
   /// `db` must outlive the session.
@@ -49,9 +77,18 @@ class MetaQuerySession {
   /// Registered relation names (sorted).
   std::vector<std::string> RelationNames() const;
 
+  const MetaQueryOptions& options() const { return options_; }
+  /// Takes effect for subsequent queries; resizes the worker pool lazily.
+  void set_options(const MetaQueryOptions& options);
+
  private:
   Result<std::shared_ptr<Relation>> Lookup(const std::string& name) const;
 
+  /// Worker pool for batched execution; nullptr when running inline.
+  ThreadPool* PoolForQuery();
+
+  MetaQueryOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
   std::map<std::string, std::shared_ptr<Relation>> relations_;  // lower key
   std::map<std::string, std::string> display_names_;
 };

@@ -1,0 +1,337 @@
+#include "sql/bound_expr.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace dbfa::sql {
+namespace {
+
+Value BoolValue(bool b) { return Value::Int(b ? 1 : 0); }
+
+bool Truthy(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kInt) return v.as_int() != 0;
+  if (v.type() == ValueType::kDouble) return v.as_double() != 0;
+  return !v.as_string().empty();
+}
+
+Result<Value> EvalArith(ArithOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  bool a_num = a.type() == ValueType::kInt || a.type() == ValueType::kDouble;
+  bool b_num = b.type() == ValueType::kInt || b.type() == ValueType::kDouble;
+  if (!a_num || !b_num) {
+    return Status::InvalidArgument("arithmetic on non-numeric value");
+  }
+  if (a.type() == ValueType::kInt && b.type() == ValueType::kInt &&
+      op != ArithOp::kDiv) {
+    int64_t x = a.as_int();
+    int64_t y = b.as_int();
+    switch (op) {
+      case ArithOp::kAdd:
+        return Value::Int(x + y);
+      case ArithOp::kSub:
+        return Value::Int(x - y);
+      case ArithOp::kMul:
+        return Value::Int(x * y);
+      default:
+        break;
+    }
+  }
+  double x = a.NumericValue();
+  double y = b.NumericValue();
+  switch (op) {
+    case ArithOp::kAdd:
+      return Value::Real(x + y);
+    case ArithOp::kSub:
+      return Value::Real(x - y);
+    case ArithOp::kMul:
+      return Value::Real(x * y);
+    case ArithOp::kDiv:
+      if (y == 0) return Value::Null();
+      return Value::Real(x / y);
+  }
+  return Status::Internal("bad arith op");
+}
+
+}  // namespace
+
+Result<BoundExprPtr> BindExpr(const Expr& e, const ColumnResolver& resolver) {
+  auto b = std::make_unique<BoundExpr>();
+  b->kind = e.kind;
+  b->compare_op = e.compare_op;
+  b->arith_op = e.arith_op;
+  b->pattern = e.pattern;
+  b->negated = e.negated;
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      b->literal = e.literal;
+      break;
+    case ExprKind::kColumn: {
+      auto idx = resolver(e.column);
+      if (!idx.has_value()) {
+        return Status::NotFound("unknown column: " + e.column);
+      }
+      b->column_index = *idx;
+      break;
+    }
+    case ExprKind::kFunc:
+      if (e.func_name == "LENGTH") {
+        b->func = BoundFunc::kLength;
+      } else if (e.func_name == "ABS") {
+        b->func = BoundFunc::kAbs;
+      } else {
+        return Status::Unimplemented("unknown function: " + e.func_name);
+      }
+      break;
+    default:
+      break;
+  }
+  if (e.lhs != nullptr) {
+    DBFA_ASSIGN_OR_RETURN(b->lhs, BindExpr(*e.lhs, resolver));
+  }
+  if (e.rhs != nullptr) {
+    DBFA_ASSIGN_OR_RETURN(b->rhs, BindExpr(*e.rhs, resolver));
+  }
+  return b;
+}
+
+ColumnResolver MakeSchemaResolver(std::vector<std::string> names,
+                                  std::string qualifier) {
+  return [names = std::move(names), qualifier = std::move(qualifier)](
+             std::string_view name) -> std::optional<size_t> {
+    std::string_view bare = name;
+    size_t dot = name.find('.');
+    if (dot != std::string_view::npos) {
+      std::string_view qual = name.substr(0, dot);
+      if (!qualifier.empty() && !EqualsIgnoreCase(qual, qualifier)) {
+        return std::nullopt;
+      }
+      bare = name.substr(dot + 1);
+    }
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (EqualsIgnoreCase(names[i], bare)) return i;
+    }
+    return std::nullopt;
+  };
+}
+
+namespace {
+
+template <typename RowT>
+Result<Value> EvalBoundImpl(const BoundExpr& e, const RowT& row) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumn:
+      if (e.column_index >= row.size()) {
+        return Status::Internal("bound column index beyond row width");
+      }
+      return row[e.column_index];
+    case ExprKind::kCompare: {
+      DBFA_ASSIGN_OR_RETURN(Value a, EvalBoundImpl(*e.lhs, row));
+      DBFA_ASSIGN_OR_RETURN(Value b, EvalBoundImpl(*e.rhs, row));
+      if (a.is_null() || b.is_null()) return Value::Null();
+      int c = Value::Compare(a, b);
+      switch (e.compare_op) {
+        case CompareOp::kEq:
+          return BoolValue(c == 0);
+        case CompareOp::kNe:
+          return BoolValue(c != 0);
+        case CompareOp::kLt:
+          return BoolValue(c < 0);
+        case CompareOp::kLe:
+          return BoolValue(c <= 0);
+        case CompareOp::kGt:
+          return BoolValue(c > 0);
+        case CompareOp::kGe:
+          return BoolValue(c >= 0);
+      }
+      return Status::Internal("bad compare op");
+    }
+    case ExprKind::kAnd: {
+      DBFA_ASSIGN_OR_RETURN(Value a, EvalBoundImpl(*e.lhs, row));
+      if (!Truthy(a)) return BoolValue(false);
+      DBFA_ASSIGN_OR_RETURN(Value b, EvalBoundImpl(*e.rhs, row));
+      return BoolValue(Truthy(b));
+    }
+    case ExprKind::kOr: {
+      DBFA_ASSIGN_OR_RETURN(Value a, EvalBoundImpl(*e.lhs, row));
+      if (Truthy(a)) return BoolValue(true);
+      DBFA_ASSIGN_OR_RETURN(Value b, EvalBoundImpl(*e.rhs, row));
+      return BoolValue(Truthy(b));
+    }
+    case ExprKind::kNot: {
+      DBFA_ASSIGN_OR_RETURN(Value a, EvalBoundImpl(*e.lhs, row));
+      return BoolValue(!Truthy(a));
+    }
+    case ExprKind::kLike: {
+      DBFA_ASSIGN_OR_RETURN(Value a, EvalBoundImpl(*e.lhs, row));
+      if (a.is_null()) return Value::Null();
+      if (a.type() != ValueType::kString) {
+        return Status::InvalidArgument("LIKE applied to non-string");
+      }
+      bool m = LikeMatch(a.as_string(), e.pattern);
+      return BoolValue(e.negated ? !m : m);
+    }
+    case ExprKind::kIsNull: {
+      DBFA_ASSIGN_OR_RETURN(Value a, EvalBoundImpl(*e.lhs, row));
+      bool isnull = a.is_null();
+      return BoolValue(e.negated ? !isnull : isnull);
+    }
+    case ExprKind::kArith: {
+      DBFA_ASSIGN_OR_RETURN(Value a, EvalBoundImpl(*e.lhs, row));
+      DBFA_ASSIGN_OR_RETURN(Value b, EvalBoundImpl(*e.rhs, row));
+      return EvalArith(e.arith_op, a, b);
+    }
+    case ExprKind::kFunc: {
+      DBFA_ASSIGN_OR_RETURN(Value a, EvalBoundImpl(*e.lhs, row));
+      switch (e.func) {
+        case BoundFunc::kLength:
+          if (a.is_null()) return Value::Null();
+          if (a.type() != ValueType::kString) {
+            return Status::InvalidArgument("LENGTH applied to non-string");
+          }
+          return Value::Int(static_cast<int64_t>(a.as_string().size()));
+        case BoundFunc::kAbs:
+          if (a.is_null()) return Value::Null();
+          if (a.type() == ValueType::kInt) {
+            return Value::Int(a.as_int() < 0 ? -a.as_int() : a.as_int());
+          }
+          if (a.type() == ValueType::kDouble) {
+            return Value::Real(std::abs(a.as_double()));
+          }
+          return Status::InvalidArgument("ABS applied to non-number");
+      }
+      return Status::Internal("bad bound function");
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+/// Points `*out` at the leaf's value without copying when the node is a
+/// literal or column reference; returns false for any other node kind.
+template <typename RowT>
+Result<bool> LeafValue(const BoundExpr& e, const RowT& row,
+                       const Value** out) {
+  if (e.kind == ExprKind::kLiteral) {
+    *out = &e.literal;
+    return true;
+  }
+  if (e.kind == ExprKind::kColumn) {
+    if (e.column_index >= row.size()) {
+      return Status::Internal("bound column index beyond row width");
+    }
+    *out = &row[e.column_index];
+    return true;
+  }
+  return false;
+}
+
+/// Predicate evaluation with the hot comparison shapes — column/literal
+/// operands of =, <>, <, <=, >, >=, LIKE and IS NULL — handled in place.
+/// The general evaluator copies every operand through a Result<Value>; on
+/// string cells that is the dominant cost of a filter sweep. Semantics are
+/// identical: NULL operands make a comparison false, Truthy() maps NULL to
+/// false everywhere else.
+template <typename RowT>
+Result<bool> EvalBoundPredicateImpl(const BoundExpr& e, const RowT& row) {
+  switch (e.kind) {
+    case ExprKind::kAnd: {
+      DBFA_ASSIGN_OR_RETURN(bool a, EvalBoundPredicateImpl(*e.lhs, row));
+      if (!a) return false;
+      return EvalBoundPredicateImpl(*e.rhs, row);
+    }
+    case ExprKind::kOr: {
+      DBFA_ASSIGN_OR_RETURN(bool a, EvalBoundPredicateImpl(*e.lhs, row));
+      if (a) return true;
+      return EvalBoundPredicateImpl(*e.rhs, row);
+    }
+    case ExprKind::kNot: {
+      DBFA_ASSIGN_OR_RETURN(bool a, EvalBoundPredicateImpl(*e.lhs, row));
+      return !a;
+    }
+    case ExprKind::kCompare: {
+      const Value* a = nullptr;
+      const Value* b = nullptr;
+      Value a_storage, b_storage;
+      DBFA_ASSIGN_OR_RETURN(bool a_leaf, LeafValue(*e.lhs, row, &a));
+      if (!a_leaf) {
+        DBFA_ASSIGN_OR_RETURN(a_storage, EvalBoundImpl(*e.lhs, row));
+        a = &a_storage;
+      }
+      DBFA_ASSIGN_OR_RETURN(bool b_leaf, LeafValue(*e.rhs, row, &b));
+      if (!b_leaf) {
+        DBFA_ASSIGN_OR_RETURN(b_storage, EvalBoundImpl(*e.rhs, row));
+        b = &b_storage;
+      }
+      if (a->is_null() || b->is_null()) return false;
+      int c = Value::Compare(*a, *b);
+      switch (e.compare_op) {
+        case CompareOp::kEq:
+          return c == 0;
+        case CompareOp::kNe:
+          return c != 0;
+        case CompareOp::kLt:
+          return c < 0;
+        case CompareOp::kLe:
+          return c <= 0;
+        case CompareOp::kGt:
+          return c > 0;
+        case CompareOp::kGe:
+          return c >= 0;
+      }
+      return Status::Internal("bad compare op");
+    }
+    case ExprKind::kLike: {
+      const Value* a = nullptr;
+      Value a_storage;
+      DBFA_ASSIGN_OR_RETURN(bool a_leaf, LeafValue(*e.lhs, row, &a));
+      if (!a_leaf) {
+        DBFA_ASSIGN_OR_RETURN(a_storage, EvalBoundImpl(*e.lhs, row));
+        a = &a_storage;
+      }
+      if (a->is_null()) return false;
+      if (a->type() != ValueType::kString) {
+        return Status::InvalidArgument("LIKE applied to non-string");
+      }
+      bool m = LikeMatch(a->as_string(), e.pattern);
+      return e.negated ? !m : m;
+    }
+    case ExprKind::kIsNull: {
+      const Value* a = nullptr;
+      Value a_storage;
+      DBFA_ASSIGN_OR_RETURN(bool a_leaf, LeafValue(*e.lhs, row, &a));
+      if (!a_leaf) {
+        DBFA_ASSIGN_OR_RETURN(a_storage, EvalBoundImpl(*e.lhs, row));
+        a = &a_storage;
+      }
+      bool isnull = a->is_null();
+      return e.negated ? !isnull : isnull;
+    }
+    default: {
+      DBFA_ASSIGN_OR_RETURN(Value v, EvalBoundImpl(e, row));
+      return Truthy(v);
+    }
+  }
+}
+
+}  // namespace
+
+Result<Value> EvalBound(const BoundExpr& e, const Record& row) {
+  return EvalBoundImpl(e, row);
+}
+
+Result<Value> EvalBound(const BoundExpr& e, const JoinRowView& row) {
+  return EvalBoundImpl(e, row);
+}
+
+Result<bool> EvalBoundPredicate(const BoundExpr& e, const Record& row) {
+  return EvalBoundPredicateImpl(e, row);
+}
+
+Result<bool> EvalBoundPredicate(const BoundExpr& e, const JoinRowView& row) {
+  return EvalBoundPredicateImpl(e, row);
+}
+
+}  // namespace dbfa::sql

@@ -1,0 +1,96 @@
+// One-time binding of expressions to flat column indices.
+//
+// The tuple-at-a-time evaluator (expr.h) resolves every column reference
+// by a case-insensitive name scan on every row. That is the right tool for
+// one-off evaluation, but it dominates the hot paths of the meta-query
+// executor and DBDetective, which evaluate the same expression against
+// hundreds of thousands of carved records. BindExpr resolves each column
+// reference to a flat index into the row exactly once at plan time; the
+// bound tree is then evaluated with direct vector indexing and no string
+// comparisons. Function names are resolved to an enum at bind time for the
+// same reason.
+//
+// Semantics match Eval/EvalPredicate exactly, except that unknown columns
+// and unknown functions are reported once at bind time instead of per row.
+#ifndef DBFA_SQL_BOUND_EXPR_H_
+#define DBFA_SQL_BOUND_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/expr.h"
+
+namespace dbfa::sql {
+
+/// Maps a (possibly qualified) column name to a flat index into the rows
+/// the bound expression will be evaluated against, or nullopt when the
+/// name does not resolve.
+using ColumnResolver =
+    std::function<std::optional<size_t>(std::string_view name)>;
+
+/// Built-in scalar functions, resolved at bind time.
+enum class BoundFunc { kLength, kAbs };
+
+/// An expression with every column reference resolved to a flat index.
+/// Immutable after binding; safe to share across threads for read-only
+/// evaluation.
+struct BoundExpr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  Value literal;                          // kLiteral
+  size_t column_index = 0;                // kColumn
+  CompareOp compare_op = CompareOp::kEq;  // kCompare
+  ArithOp arith_op = ArithOp::kAdd;       // kArith
+  std::string pattern;                    // kLike
+  bool negated = false;                   // kLike / kIsNull
+  BoundFunc func = BoundFunc::kLength;    // kFunc
+
+  std::unique_ptr<BoundExpr> lhs;
+  std::unique_ptr<BoundExpr> rhs;
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+/// Binds `e` against `resolver`. Unknown columns and unknown functions
+/// fail here, once, instead of on every row.
+Result<BoundExprPtr> BindExpr(const Expr& e, const ColumnResolver& resolver);
+
+/// Resolver over one column-name list with an optional qualifier accepted
+/// as "<qualifier>.<name>" — the same rule as RecordBinding::Lookup. The
+/// names are copied, so the resolver may outlive the originals.
+ColumnResolver MakeSchemaResolver(std::vector<std::string> names,
+                                  std::string qualifier);
+
+/// A zero-copy view of the concatenation left ++ right, indexed exactly
+/// like the combined record a join would materialize. Lets a predicate
+/// bound against the joined schema run *before* the combined record is
+/// built, so rows it rejects are never materialized.
+struct JoinRowView {
+  const Record* left;
+  const Record* right;
+
+  size_t size() const { return left->size() + right->size(); }
+  const Value& operator[](size_t i) const {
+    return i < left->size() ? (*left)[i] : (*right)[i - left->size()];
+  }
+};
+
+/// Evaluates a bound expression against a flat row (NULL propagates, as in
+/// Eval). A column index beyond the row is an internal error: binding
+/// guarantees indices are in range for rows of the bound width.
+Result<Value> EvalBound(const BoundExpr& e, const Record& row);
+Result<Value> EvalBound(const BoundExpr& e, const JoinRowView& row);
+
+/// Predicate form: NULL results become false (as in EvalPredicate).
+/// Comparisons, LIKE and IS NULL over columns and literals are evaluated
+/// in place, without copying cell values through the general evaluator.
+Result<bool> EvalBoundPredicate(const BoundExpr& e, const Record& row);
+Result<bool> EvalBoundPredicate(const BoundExpr& e, const JoinRowView& row);
+
+}  // namespace dbfa::sql
+
+#endif  // DBFA_SQL_BOUND_EXPR_H_

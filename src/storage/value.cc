@@ -97,6 +97,14 @@ int CompareRecords(const Record& a, const Record& b) {
   return a.size() < b.size() ? -1 : 1;
 }
 
+size_t HashRecord(const Record& r) {
+  size_t h = 0x9E3779B97F4A7C15ull ^ r.size();
+  for (const Value& v : r) {
+    h ^= v.Hash() + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
 std::string RecordToString(const Record& r) {
   std::string out = "(";
   for (size_t i = 0; i < r.size(); ++i) {

@@ -90,6 +90,11 @@ using Record = std::vector<Value>;
 /// Lexicographic comparison of records (for composite keys).
 int CompareRecords(const Record& a, const Record& b);
 
+/// Combined hash over a record's values, compatible with CompareRecords
+/// equality: records with CompareRecords(a, b) == 0 hash identically
+/// (Value::Hash already makes integral doubles hash like the equal int).
+size_t HashRecord(const Record& r);
+
 /// Renders "(v1, v2, ...)".
 std::string RecordToString(const Record& r);
 

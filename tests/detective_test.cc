@@ -281,5 +281,53 @@ TEST(ConfidenceTest, EvidenceReuseLowersResidueRatio) {
   EXPECT_LT(report.score, 1.0) << report.ToString();
 }
 
+TEST(DetectiveTest, PreboundMatcherMatchesReferenceImplementation) {
+  // The prebound matcher (predicates bound per carved schema once,
+  // statements bucketed per table) must produce exactly the report of the
+  // original name-resolving tuple-at-a-time path, findings in the same
+  // order, on a workload that mixes logged activity with unlogged
+  // INSERT/DELETE/UPDATE tampering.
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  SyntheticWorkload workload(db->get(), "Accounts", 11);
+  ASSERT_TRUE(workload.Setup(120).ok());
+  ASSERT_TRUE(workload.Run(250, OpMix{}, /*logged=*/true).ok());
+  (*db)->audit_log().SetEnabled(false);
+  ASSERT_TRUE((*db)
+                  ->ExecuteSql("INSERT INTO Accounts VALUES "
+                               "(9001, 'Mallory', 'Nowhere', 13.37)")
+                  .ok());
+  ASSERT_TRUE((*db)->ExecuteSql("DELETE FROM Accounts WHERE Id = 23").ok());
+  ASSERT_TRUE(
+      (*db)
+          ->ExecuteSql("UPDATE Accounts SET Balance = 0.5 WHERE Id = 31")
+          .ok());
+  (*db)->audit_log().SetEnabled(true);
+
+  auto carve = CarveDisk(db->get());
+  ASSERT_TRUE(carve.ok());
+  DbDetective prebound(&*carve, &(*db)->audit_log());
+  DetectiveOptions reference_options;
+  reference_options.prebind = false;
+  DbDetective reference(&*carve, &(*db)->audit_log(), nullptr,
+                        reference_options);
+
+  size_t fast_deleted = 0, fast_active = 0;
+  size_t ref_deleted = 0, ref_active = 0;
+  auto fast =
+      prebound.FindUnattributedModifications(&fast_deleted, &fast_active);
+  auto ref =
+      reference.FindUnattributedModifications(&ref_deleted, &ref_active);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  EXPECT_EQ(fast_deleted, ref_deleted);
+  EXPECT_EQ(fast_active, ref_active);
+  ASSERT_EQ(fast->size(), ref->size());
+  EXPECT_FALSE(fast->empty());
+  for (size_t i = 0; i < fast->size(); ++i) {
+    EXPECT_EQ((*fast)[i].ToString(), (*ref)[i].ToString()) << "finding " << i;
+  }
+}
+
 }  // namespace
 }  // namespace dbfa

@@ -1,0 +1,230 @@
+// Differential suite: the batched executor vs. the tuple-at-a-time
+// reference executor over randomized SELECTs, at several thread counts and
+// batch sizes. Results must be identical — same column names, same rows,
+// same order, same value types. Runs under the `sanitize` CTest label so
+// TSan sees the parallel operators with real thread interleavings.
+//
+// Double-valued columns only hold multiples of 0.25 in a small range, so
+// every SUM/AVG is exact in binary floating point and batched
+// re-association cannot introduce rounding differences (the engine's
+// FP-determinism contract is batch-geometry-fixed ordering, not
+// re-association-freedom; see docs/metaquery_engine.md).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "metaquery/session.h"
+
+namespace dbfa {
+namespace {
+
+std::string DescribeCell(const Value& v) {
+  return std::string(ValueTypeName(v.type())) + ":" + v.ToSqlLiteral();
+}
+
+/// Exact equality: same columns, same row count, and cell-by-cell same
+/// type and same value (Value::Compare, which is exact for doubles).
+void ExpectSameTable(const QueryTable& expected, const QueryTable& actual,
+                     const std::string& context) {
+  ASSERT_EQ(expected.columns, actual.columns) << context;
+  ASSERT_EQ(expected.rows.size(), actual.rows.size()) << context;
+  for (size_t r = 0; r < expected.rows.size(); ++r) {
+    ASSERT_EQ(expected.rows[r].size(), actual.rows[r].size())
+        << context << " row " << r;
+    for (size_t c = 0; c < expected.rows[r].size(); ++c) {
+      const Value& e = expected.rows[r][c];
+      const Value& a = actual.rows[r][c];
+      ASSERT_TRUE(e.type() == a.type() && Value::Compare(e, a) == 0)
+          << context << " row " << r << " col " << c << ": expected "
+          << DescribeCell(e) << ", got " << DescribeCell(a);
+    }
+  }
+}
+
+/// T1(id, g, d, s): sequential ids; g a small int with NULLs (GROUP BY
+/// with NULL keys); d a double that is always a multiple of 0.25 with
+/// heavy ties (ORDER BY DESC with ties); s a short word from a small pool.
+std::shared_ptr<Relation> MakeT1(Rng* rng, size_t n) {
+  std::vector<std::string> pool = {"ant", "bee", "cat", "dog", "elk"};
+  std::vector<Record> rows;
+  for (size_t i = 0; i < n; ++i) {
+    Record r;
+    r.push_back(Value::Int(static_cast<int64_t>(i)));
+    r.push_back(rng->Bernoulli(0.15) ? Value::Null()
+                                     : Value::Int(rng->Uniform(0, 4)));
+    r.push_back(rng->Bernoulli(0.1)
+                    ? Value::Null()
+                    : Value::Real(0.25 * rng->Uniform(-40, 40)));
+    r.push_back(Value::Str(rng->Pick(pool)));
+    rows.push_back(std::move(r));
+  }
+  return std::make_shared<VectorRelation>(
+      std::vector<std::string>{"id", "g", "d", "s"}, std::move(rows));
+}
+
+/// T2(k, w): join partner. Keys are duplicated (every key ~4 times on
+/// average) and a third of them are stored as the Compare-equal double
+/// (Int(5) vs Real(5.0) hash identically — the hash-collision / cross-type
+/// case for the Value-keyed join table). NULL keys must never join.
+std::shared_ptr<Relation> MakeT2(Rng* rng, size_t n, int64_t key_space) {
+  std::vector<Record> rows;
+  for (size_t i = 0; i < n; ++i) {
+    Record r;
+    if (rng->Bernoulli(0.05)) {
+      r.push_back(Value::Null());
+    } else {
+      int64_t k = rng->Uniform(0, key_space - 1);
+      r.push_back(rng->Bernoulli(0.33)
+                      ? Value::Real(static_cast<double>(k))
+                      : Value::Int(k));
+    }
+    r.push_back(Value::Int(rng->Uniform(0, 9)));
+    rows.push_back(std::move(r));
+  }
+  return std::make_shared<VectorRelation>(
+      std::vector<std::string>{"k", "w"}, std::move(rows));
+}
+
+/// A random well-typed predicate over T1's columns (optionally qualified
+/// for the joined shape).
+std::string RandomPredicate(Rng* rng) {
+  std::vector<std::string> preds = {
+      "id >= %d",
+      "g = %d",
+      "g <> %d",
+      "d > %d",
+      "d <= %d",
+      "g IS NULL",
+      "g IS NOT NULL",
+      "d IS NULL",
+      "s LIKE 'a%%'",
+      "s NOT LIKE '%%t'",
+      "LENGTH(s) = 3",
+      "ABS(d) < %d",
+      "id + g > %d",
+      "d * 2 >= %d",
+      "g BETWEEN 1 AND 3",
+      "g IN (0, 2, 4)",
+  };
+  std::string chosen = rng->Pick(preds);
+  if (chosen.find("%d") != std::string::npos) {
+    return StrFormat(chosen.c_str(), static_cast<int>(rng->Uniform(-5, 60)));
+  }
+  return chosen;
+}
+
+std::string RandomWhere(Rng* rng) {
+  std::string a = RandomPredicate(rng);
+  if (rng->Bernoulli(0.5)) return a;
+  std::string b = RandomPredicate(rng);
+  const char* op = rng->Bernoulli(0.5) ? "AND" : "OR";
+  std::string combined = StrFormat("(%s) %s (%s)", a.c_str(), op, b.c_str());
+  if (rng->Bernoulli(0.2)) return "NOT (" + combined + ")";
+  return combined;
+}
+
+std::string RandomQuery(Rng* rng) {
+  std::string where = RandomWhere(rng);
+  switch (rng->Uniform(0, 5)) {
+    case 0:  // projection with expressions, ORDER BY DESC with ties
+      return StrFormat(
+          "SELECT id, d, id + g AS e FROM T1 WHERE %s "
+          "ORDER BY d DESC, id",
+          where.c_str());
+    case 1:  // SELECT * with LIMIT (sometimes LIMIT 0)
+      return StrFormat("SELECT * FROM T1 WHERE %s ORDER BY id LIMIT %d",
+                       where.c_str(),
+                       static_cast<int>(rng->Uniform(0, 3)) * 7);
+    case 2:  // GROUP BY with NULL keys and every aggregate
+      return StrFormat(
+          "SELECT g, COUNT(*) AS n, SUM(d) AS sd, MIN(d) AS lo, "
+          "MAX(d) AS hi, AVG(d) AS mean FROM T1 WHERE %s GROUP BY g "
+          "ORDER BY n DESC",
+          where.c_str());
+    case 3:  // ungrouped aggregates (empty-input path when WHERE kills all)
+      return StrFormat(
+          "SELECT COUNT(*) AS n, SUM(id) AS si, AVG(d) AS mean FROM T1 "
+          "WHERE %s",
+          where.c_str());
+    case 4:  // join with duplicate and cross-type keys
+      return StrFormat(
+          "SELECT T1.id, T1.s, T2.w FROM T1 JOIN T2 ON g = k WHERE %s "
+          "ORDER BY T1.id LIMIT 200",
+          where.c_str());
+    default:  // aggregate over a join, grouped by the string column
+      return StrFormat(
+          "SELECT s, COUNT(*) AS n, SUM(w) AS sw FROM T1 "
+          "JOIN T2 ON g = k WHERE %s GROUP BY s ORDER BY s",
+          where.c_str());
+  }
+}
+
+class MetaQueryDifferentialTest : public ::testing::Test {
+ protected:
+  void RunDifferential(uint64_t seed, size_t t1_rows, size_t t2_rows) {
+    Rng rng(seed);
+    auto t1 = MakeT1(&rng, t1_rows);
+    auto t2 = MakeT2(&rng, t2_rows, 6);
+
+    MetaQueryOptions ref_options;
+    ref_options.use_reference = true;
+    MetaQuerySession reference(ref_options);
+    reference.Register("T1", t1);
+    reference.Register("T2", t2);
+
+    std::vector<std::string> queries;
+    // Fixed regression shapes first, then randomized ones.
+    queries.push_back("SELECT * FROM T1 ORDER BY id LIMIT 0");
+    queries.push_back(
+        "SELECT g, COUNT(*) AS n FROM T1 GROUP BY g ORDER BY n DESC");
+    queries.push_back(
+        "SELECT T1.id, T2.w FROM T1 JOIN T2 ON g = k ORDER BY T1.id, T2.w");
+    queries.push_back(
+        "SELECT COUNT(*) AS n FROM T1 WHERE id < 0");  // empty input
+    for (int q = 0; q < 24; ++q) queries.push_back(RandomQuery(&rng));
+
+    for (const std::string& query : queries) {
+      auto expected = reference.Query(query);
+      ASSERT_TRUE(expected.ok())
+          << query << ": " << expected.status().ToString();
+      for (size_t threads : {1u, 2u, 4u, 8u}) {
+        for (size_t batch_rows : {64u, 1024u}) {
+          MetaQueryOptions options;
+          options.num_threads = threads;
+          options.batch_rows = batch_rows;
+          MetaQuerySession session(options);
+          session.Register("T1", t1);
+          session.Register("T2", t2);
+          auto actual = session.Query(query);
+          ASSERT_TRUE(actual.ok())
+              << query << ": " << actual.status().ToString();
+          ExpectSameTable(*expected, *actual,
+                          StrFormat("[threads=%zu batch=%zu] %s", threads,
+                                    batch_rows, query.c_str()));
+        }
+      }
+    }
+  }
+};
+
+TEST_F(MetaQueryDifferentialTest, RandomizedQueriesSeed1) {
+  RunDifferential(/*seed=*/101, /*t1_rows=*/400, /*t2_rows=*/120);
+}
+
+TEST_F(MetaQueryDifferentialTest, RandomizedQueriesSeed2) {
+  RunDifferential(/*seed=*/202, /*t1_rows=*/700, /*t2_rows=*/60);
+}
+
+TEST_F(MetaQueryDifferentialTest, TinyAndEmptyRelations) {
+  RunDifferential(/*seed=*/303, /*t1_rows=*/3, /*t2_rows=*/1);
+  RunDifferential(/*seed=*/404, /*t1_rows=*/0, /*t2_rows=*/0);
+}
+
+TEST_F(MetaQueryDifferentialTest, BatchBoundaryExactMultiples) {
+  // Row counts landing exactly on batch boundaries (64 * k) exercise the
+  // empty-last-batch and full-last-batch edges of the batch grid.
+  RunDifferential(/*seed=*/505, /*t1_rows=*/128, /*t2_rows=*/64);
+}
+
+}  // namespace
+}  // namespace dbfa

@@ -193,5 +193,70 @@ TEST(MetaQueryTest, Scenario1DeletedRowsFromLiveCarve) {
   EXPECT_NE(text.find("Gone"), std::string::npos);
 }
 
+TEST(MetaQueryTest, RegisterCarveReportsShadowedSchemas) {
+  // A dropped-and-recreated table leaves two carved schemas with the same
+  // name under different object ids. Name-based registration can only see
+  // the first; the second must be reported, not silently dropped.
+  CarveResult carve;
+  TableSchema schema;
+  schema.name = "Orders";
+  schema.columns = {{"Id", ColumnType::kInt, 0, false}};
+  carve.schemas[7] = schema;
+  carve.schemas[9] = schema;
+  CarvedRecord visible;
+  visible.object_id = 7;
+  visible.values = {Value::Int(42)};
+  visible.typed = true;
+  carve.records.push_back(visible);
+  CarvedRecord shadowed = visible;
+  shadowed.object_id = 9;
+  shadowed.values = {Value::Int(99)};
+  carve.records.push_back(shadowed);
+
+  MetaQuerySession session;
+  std::vector<std::string> skipped;
+  ASSERT_TRUE(session.RegisterCarve(carve, "Carv", &skipped).ok());
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_NE(skipped[0].find("Orders"), std::string::npos);
+  EXPECT_NE(skipped[0].find("object 9"), std::string::npos);
+  EXPECT_NE(skipped[0].find("shadowed"), std::string::npos);
+
+  // The first object's records are what got registered.
+  auto result = session.Query("SELECT Id FROM CarvOrders");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::Int(42));
+}
+
+TEST(MetaQueryTest, ToTextAlignsColumnsAndMarksHiddenRows) {
+  QueryTable table;
+  table.columns = {"a", "longheader"};
+  table.rows = {{Value::Int(1), Value::Str("xx")},
+                {Value::Int(12345), Value::Str("y")},
+                {Value::Int(7), Value::Str("hidden")}};
+  std::string text = table.ToText(/*max_rows=*/2);
+
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  // Header, separator, two shown rows, overflow footer.
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_NE(lines[0].find("a"), std::string::npos);
+  EXPECT_NE(lines[0].find("longheader"), std::string::npos);
+  // Every table line is padded to the same width; cells stay aligned even
+  // when a value ("12345") is wider than its header ("a").
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(lines[i].size(), lines[0].size()) << "line " << i;
+  }
+  EXPECT_NE(lines[3].find("12345"), std::string::npos);
+  EXPECT_EQ(text.find("hidden"), std::string::npos);
+  EXPECT_EQ(lines[4], "... (1 more rows)");
+}
+
 }  // namespace
 }  // namespace dbfa
