@@ -1,6 +1,9 @@
 // E4 — meta-query latency for the two Section II-C scenarios, versus
 // carved-artifact volume: scenario 1 (deleted-row selection) and scenario
-// 2 (disk-vs-RAM join for fresh updates).
+// 2 (disk-vs-RAM join for fresh updates). Each scenario also runs on the
+// out-of-core engine at a budget of 1/8 of the carved relation footprint
+// (every operator forced to spill) for the spilled-vs-in-memory overhead
+// rows in BENCH_metaquery.json.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -9,7 +12,9 @@
 #include "common/strings.h"
 #include "core/carver.h"
 #include "engine/database.h"
+#include "metaquery/relation.h"
 #include "metaquery/session.h"
+#include "sql/row_codec.h"
 #include "storage/dialects.h"
 
 namespace {
@@ -71,9 +76,30 @@ MetaQueryOptions OptionsForMode(bool reference) {
   return options;
 }
 
-void RunScenario1(benchmark::State& state, bool reference) {
+/// In-memory footprint of one carved relation, measured the same way the
+/// out-of-core engine charges its budget.
+size_t CarveFootprintBytes(const CarveResult& carve) {
+  auto relation = MakeCarvedRelation(carve, "Product");
+  if (!relation.ok()) return 0;
+  size_t bytes = 0;
+  (void)(*relation)->Scan([&](const Record& r) {
+    bytes += sql::EstimateRecordMemoryBytes(r);
+    return Status::Ok();
+  });
+  return bytes;
+}
+
+/// Budget forcing the acceptance ratio: the (largest) relation in the
+/// query is >= 8x the budget.
+MetaQueryOptions SpilledOptions(size_t footprint_bytes) {
+  MetaQueryOptions options;
+  options.memory_budget_bytes = std::max<size_t>(footprint_bytes / 8, 1024);
+  return options;
+}
+
+void RunScenario1(benchmark::State& state, const MetaQueryOptions& options) {
   const PreparedCarves& carves = CarvesForRows(static_cast<int>(state.range(0)));
-  MetaQuerySession session(OptionsForMode(reference));
+  MetaQuerySession session(options);
   (void)session.RegisterCarve(carves.disk, "Carv");
   size_t rows = 0;
   for (auto _ : state) {
@@ -84,10 +110,16 @@ void RunScenario1(benchmark::State& state, bool reference) {
     benchmark::DoNotOptimize(result);
   }
   state.counters["deleted_rows"] = static_cast<double>(rows);
+  if (options.memory_budget_bytes > 0) {
+    state.counters["budget_bytes"] =
+        static_cast<double>(options.memory_budget_bytes);
+    state.counters["spill_bytes"] =
+        static_cast<double>(session.last_spill_stats().bytes_written);
+  }
 }
 
 void BM_Scenario1DeletedRows(benchmark::State& state) {
-  RunScenario1(state, /*reference=*/false);
+  RunScenario1(state, OptionsForMode(/*reference=*/false));
 }
 BENCHMARK(BM_Scenario1DeletedRows)
     ->Arg(1000)->Arg(5000)->Arg(20000)->Arg(100000)
@@ -96,15 +128,24 @@ BENCHMARK(BM_Scenario1DeletedRows)
 /// The pre-PR tuple-at-a-time executor, for speedup accounting against the
 /// batched path (same queries, same carves).
 void BM_Scenario1DeletedRowsReference(benchmark::State& state) {
-  RunScenario1(state, /*reference=*/true);
+  RunScenario1(state, OptionsForMode(/*reference=*/true));
 }
 BENCHMARK(BM_Scenario1DeletedRowsReference)
     ->Arg(1000)->Arg(5000)->Arg(20000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
-void RunScenario2(benchmark::State& state, bool reference) {
+/// Same query on the out-of-core engine at 1/8 of the carve footprint.
+void BM_Scenario1DeletedRowsSpilled(benchmark::State& state) {
   const PreparedCarves& carves = CarvesForRows(static_cast<int>(state.range(0)));
-  MetaQuerySession session(OptionsForMode(reference));
+  RunScenario1(state, SpilledOptions(CarveFootprintBytes(carves.disk)));
+}
+BENCHMARK(BM_Scenario1DeletedRowsSpilled)
+    ->Arg(1000)->Arg(5000)->Arg(20000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void RunScenario2(benchmark::State& state, const MetaQueryOptions& options) {
+  const PreparedCarves& carves = CarvesForRows(static_cast<int>(state.range(0)));
+  MetaQuerySession session(options);
   (void)session.RegisterCarve(carves.disk, "CarvDisk");
   (void)session.RegisterCarve(carves.ram, "CarvRAM");
   size_t rows = 0;
@@ -119,25 +160,41 @@ void RunScenario2(benchmark::State& state, bool reference) {
     benchmark::DoNotOptimize(result);
   }
   state.counters["updated_rows"] = static_cast<double>(rows);
+  if (options.memory_budget_bytes > 0) {
+    state.counters["budget_bytes"] =
+        static_cast<double>(options.memory_budget_bytes);
+    state.counters["spill_bytes"] =
+        static_cast<double>(session.last_spill_stats().bytes_written);
+  }
 }
 
 void BM_Scenario2DiskRamJoin(benchmark::State& state) {
-  RunScenario2(state, /*reference=*/false);
+  RunScenario2(state, OptionsForMode(/*reference=*/false));
 }
 BENCHMARK(BM_Scenario2DiskRamJoin)
     ->Arg(1000)->Arg(5000)->Arg(20000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Scenario2DiskRamJoinReference(benchmark::State& state) {
-  RunScenario2(state, /*reference=*/true);
+  RunScenario2(state, OptionsForMode(/*reference=*/true));
 }
 BENCHMARK(BM_Scenario2DiskRamJoinReference)
     ->Arg(1000)->Arg(5000)->Arg(20000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
-void BM_AggregateOverCarve(benchmark::State& state) {
+void BM_Scenario2DiskRamJoinSpilled(benchmark::State& state) {
+  const PreparedCarves& carves = CarvesForRows(static_cast<int>(state.range(0)));
+  RunScenario2(state,
+               SpilledOptions(std::max(CarveFootprintBytes(carves.disk),
+                                       CarveFootprintBytes(carves.ram))));
+}
+BENCHMARK(BM_Scenario2DiskRamJoinSpilled)
+    ->Arg(1000)->Arg(5000)->Arg(20000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void RunAggregate(benchmark::State& state, const MetaQueryOptions& options) {
   const PreparedCarves& carves = CarvesForRows(20000);
-  MetaQuerySession session;
+  MetaQuerySession session(options);
   (void)session.RegisterCarve(carves.disk, "Carv");
   for (auto _ : state) {
     auto result = session.Query(
@@ -146,8 +203,66 @@ void BM_AggregateOverCarve(benchmark::State& state) {
     if (!result.ok()) state.SkipWithError("query failed");
     benchmark::DoNotOptimize(result);
   }
+  if (options.memory_budget_bytes > 0) {
+    state.counters["budget_bytes"] =
+        static_cast<double>(options.memory_budget_bytes);
+    state.counters["spill_bytes"] =
+        static_cast<double>(session.last_spill_stats().bytes_written);
+  }
+}
+
+void BM_AggregateOverCarve(benchmark::State& state) {
+  RunAggregate(state, MetaQueryOptions{});
 }
 BENCHMARK(BM_AggregateOverCarve);
+
+void BM_AggregateOverCarveSpilled(benchmark::State& state) {
+  const PreparedCarves& carves = CarvesForRows(20000);
+  RunAggregate(state, SpilledOptions(CarveFootprintBytes(carves.disk)));
+}
+BENCHMARK(BM_AggregateOverCarveSpilled);
+
+/// The acceptance-criteria shape: join + aggregation over relations >= 8x
+/// the budget, compared against the same query fully in memory.
+void RunJoinAggregate(benchmark::State& state,
+                      const MetaQueryOptions& options) {
+  const PreparedCarves& carves = CarvesForRows(static_cast<int>(state.range(0)));
+  MetaQuerySession session(options);
+  (void)session.RegisterCarve(carves.disk, "CarvDisk");
+  (void)session.RegisterCarve(carves.ram, "CarvRAM");
+  for (auto _ : state) {
+    auto result = session.Query(
+        "SELECT D.RowStatus, COUNT(*) AS n, AVG(M.Price) AS fresh, "
+        "AVG(D.Price) AS stale "
+        "FROM CarvRAMProduct AS M JOIN CarvDiskProduct AS D ON M.PID = D.PID "
+        "GROUP BY D.RowStatus ORDER BY D.RowStatus");
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+  if (options.memory_budget_bytes > 0) {
+    state.counters["budget_bytes"] =
+        static_cast<double>(options.memory_budget_bytes);
+    state.counters["spill_bytes"] =
+        static_cast<double>(session.last_spill_stats().bytes_written);
+  }
+}
+
+void BM_JoinAggregate(benchmark::State& state) {
+  RunJoinAggregate(state, MetaQueryOptions{});
+}
+BENCHMARK(BM_JoinAggregate)
+    ->Arg(5000)->Arg(20000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_JoinAggregateSpilled(benchmark::State& state) {
+  const PreparedCarves& carves = CarvesForRows(static_cast<int>(state.range(0)));
+  RunJoinAggregate(state,
+                   SpilledOptions(std::max(CarveFootprintBytes(carves.disk),
+                                           CarveFootprintBytes(carves.ram))));
+}
+BENCHMARK(BM_JoinAggregateSpilled)
+    ->Arg(5000)->Arg(20000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,231 @@
+#include "common/spill_manager.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/checksum.h"
+#include "common/strings.h"
+
+namespace dbfa {
+namespace {
+
+// Rejects absurd header sizes before allocating: no writer produces blocks
+// larger than this, so anything bigger is a corrupt or truncated header.
+constexpr uint32_t kMaxBlockPayload = 64u * 1024 * 1024;
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  return StrFormat("%s %s: %s", op, path.c_str(), std::strerror(errno));
+}
+
+}  // namespace
+
+// ---- SpillFile ----------------------------------------------------------
+
+SpillFile::SpillFile(SpillFile&& other) noexcept
+    : manager_(other.manager_),
+      path_(std::move(other.path_)),
+      f_(other.f_),
+      blocks_(other.blocks_) {
+  other.f_ = nullptr;
+  other.path_.clear();
+}
+
+SpillFile& SpillFile::operator=(SpillFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    manager_ = other.manager_;
+    path_ = std::move(other.path_);
+    f_ = other.f_;
+    blocks_ = other.blocks_;
+    other.f_ = nullptr;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+SpillFile::~SpillFile() { Close(); }
+
+void SpillFile::Close() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);  // best effort; dir removal backstops
+    path_.clear();
+  }
+}
+
+Status SpillFile::AppendBlock(std::string_view payload) {
+  if (f_ == nullptr) {
+    return Status::Internal("spill file is closed");
+  }
+  uint8_t header[8];
+  WriteU32(header, static_cast<uint32_t>(payload.size()), /*big_endian=*/false);
+  WriteU32(header + 4,
+           Crc32(ByteView(reinterpret_cast<const uint8_t*>(payload.data()),
+                          payload.size())),
+           /*big_endian=*/false);
+  if (std::fwrite(header, 1, sizeof(header), f_) != sizeof(header) ||
+      (!payload.empty() &&
+       std::fwrite(payload.data(), 1, payload.size(), f_) != payload.size())) {
+    return Status::IoError(ErrnoMessage("write", path_));
+  }
+  if (std::fflush(f_) != 0) {
+    return Status::IoError(ErrnoMessage("flush", path_));
+  }
+  ++blocks_;
+  manager_->blocks_written_.fetch_add(1, std::memory_order_relaxed);
+  manager_->bytes_written_.fetch_add(payload.size(),
+                                     std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Result<SpillFile::Reader> SpillFile::OpenReader() const {
+  if (path_.empty()) {
+    return Status::Internal("spill file is closed");
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError(ErrnoMessage("open", path_));
+  }
+  return Reader(manager_, f);
+}
+
+SpillFile::Reader::Reader(Reader&& other) noexcept
+    : manager_(other.manager_), f_(other.f_) {
+  other.f_ = nullptr;
+}
+
+SpillFile::Reader& SpillFile::Reader::operator=(Reader&& other) noexcept {
+  if (this != &other) {
+    if (f_ != nullptr) std::fclose(f_);
+    manager_ = other.manager_;
+    f_ = other.f_;
+    other.f_ = nullptr;
+  }
+  return *this;
+}
+
+SpillFile::Reader::~Reader() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+Result<bool> SpillFile::Reader::NextBlock(std::string* payload) {
+  uint8_t header[8];
+  size_t n = std::fread(header, 1, sizeof(header), f_);
+  if (n == 0 && std::feof(f_)) return false;
+  if (n != sizeof(header)) {
+    return Status::Corruption("spill block: truncated header");
+  }
+  uint32_t size = ReadU32(header, /*big_endian=*/false);
+  uint32_t expected_crc = ReadU32(header + 4, /*big_endian=*/false);
+  if (size > kMaxBlockPayload) {
+    return Status::Corruption(
+        StrFormat("spill block: implausible payload size %u", size));
+  }
+  payload->resize(size);
+  if (size != 0 && std::fread(payload->data(), 1, size, f_) != size) {
+    return Status::Corruption("spill block: truncated payload");
+  }
+  uint32_t actual_crc =
+      Crc32(ByteView(reinterpret_cast<const uint8_t*>(payload->data()),
+                     payload->size()));
+  if (actual_crc != expected_crc) {
+    return Status::Corruption(
+        StrFormat("spill block: checksum mismatch (stored %08x, computed "
+                  "%08x)",
+                  expected_crc, actual_crc));
+  }
+  manager_->blocks_read_.fetch_add(1, std::memory_order_relaxed);
+  manager_->bytes_read_.fetch_add(size, std::memory_order_relaxed);
+  return true;
+}
+
+// ---- SpillManager -------------------------------------------------------
+
+SpillManager::SpillManager(std::string root) : root_(std::move(root)) {}
+
+SpillManager::~SpillManager() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);  // backstop for leaked files
+  }
+}
+
+Status SpillManager::EnsureDir() {
+  // Callers hold mu_.
+  if (!dir_.empty()) return Status::Ok();
+  std::error_code ec;
+  std::filesystem::path root =
+      root_.empty() ? std::filesystem::temp_directory_path(ec)
+                    : std::filesystem::path(root_);
+  if (ec) {
+    return Status::IoError("no temp directory: " + ec.message());
+  }
+  std::filesystem::create_directories(root, ec);
+  if (ec) {
+    return Status::IoError(StrFormat("create %s: %s", root.c_str(),
+                                     ec.message().c_str()));
+  }
+  // Unique per manager: pid + the manager's address disambiguate managers
+  // within and across processes sharing one root.
+  for (uint64_t attempt = 0; attempt < 1024; ++attempt) {
+    std::filesystem::path candidate =
+        root / StrFormat("dbfa-spill-%d-%p-%llu", static_cast<int>(getpid()),
+                         static_cast<const void*>(this),
+                         static_cast<unsigned long long>(attempt));
+    if (std::filesystem::create_directory(candidate, ec)) {
+      dir_ = candidate.string();
+      return Status::Ok();
+    }
+    if (ec) {
+      return Status::IoError(StrFormat("create %s: %s", candidate.c_str(),
+                                       ec.message().c_str()));
+    }
+  }
+  return Status::Internal("could not create a unique spill directory");
+}
+
+Result<SpillFile> SpillManager::CreateFile() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DBFA_RETURN_IF_ERROR(EnsureDir());
+    path = (std::filesystem::path(dir_) /
+            StrFormat("run-%06llu.spill",
+                      static_cast<unsigned long long>(next_id_++)))
+               .string();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(ErrnoMessage("open", path));
+  }
+  files_created_.fetch_add(1, std::memory_order_relaxed);
+  return SpillFile(this, std::move(path), f);
+}
+
+SpillStats SpillManager::stats() const {
+  SpillStats s;
+  s.files_created = files_created_.load(std::memory_order_relaxed);
+  s.blocks_written = blocks_written_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.blocks_read = blocks_read_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string SpillManager::dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dir_;
+}
+
+}  // namespace dbfa

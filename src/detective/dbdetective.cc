@@ -415,6 +415,18 @@ Result<std::vector<UnloggedAccess>> DbDetective::FindUnloggedReads() const {
   return out;
 }
 
+Result<MetaQuerySession> DbDetective::MakeMetaQuerySession(
+    std::vector<std::string>* skipped) const {
+  MetaQuerySession session(options_.metaquery);
+  if (disk_ != nullptr) {
+    DBFA_RETURN_IF_ERROR(session.RegisterCarve(*disk_, "CarvDisk", skipped));
+  }
+  if (ram_ != nullptr) {
+    DBFA_RETURN_IF_ERROR(session.RegisterCarve(*ram_, "CarvRAM", skipped));
+  }
+  return session;
+}
+
 Result<DetectiveReport> DbDetective::Analyze() const {
   DetectiveReport report;
   DBFA_ASSIGN_OR_RETURN(

@@ -21,6 +21,7 @@
 
 #include "core/artifacts.h"
 #include "engine/audit_log.h"
+#include "metaquery/session.h"
 #include "sql/statement.h"
 
 namespace dbfa {
@@ -69,6 +70,13 @@ struct DetectiveOptions {
   /// name-resolving tuple-at-a-time path runs — retained as a reference
   /// implementation for differential tests and benchmarks.
   bool prebind = true;
+
+  /// Execution options for ad-hoc meta-query sessions built with
+  /// MakeMetaQuerySession. Investigations over carves much larger than RAM
+  /// set memory_budget_bytes here so SQL over the carved relations runs on
+  /// the out-of-core engine (docs/spilling.md) instead of materializing
+  /// everything in memory.
+  MetaQueryOptions metaquery;
 };
 
 class DbDetective {
@@ -90,6 +98,16 @@ class DbDetective {
 
   /// Read analysis only (requires a RAM carve).
   Result<std::vector<UnloggedAccess>> FindUnloggedReads() const;
+
+  /// Builds a meta-query session over the carves this detective was given:
+  /// every schema-bearing disk table registers as "CarvDisk<Table>" and
+  /// (when a RAM carve is present) "CarvRAM<Table>" — Section II-C's
+  /// naming, so its cross-snapshot join example runs verbatim. The session
+  /// inherits options().metaquery, including the out-of-core memory
+  /// budget. Tables that could not be registered are reported through
+  /// `skipped`.
+  Result<MetaQuerySession> MakeMetaQuerySession(
+      std::vector<std::string>* skipped = nullptr) const;
 
  private:
   Result<std::vector<UnattributedModification>>

@@ -1,73 +1,13 @@
 #include "metaquery/batch_executor.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 
-#include "common/strings.h"
+#include "metaquery/exec_common.h"
 #include "sql/bound_expr.h"
 
 namespace dbfa::metaquery_internal {
 namespace {
-
-struct ValueHasher {
-  size_t operator()(const Value& v) const { return v.Hash(); }
-};
-struct ValueEq {
-  bool operator()(const Value& a, const Value& b) const {
-    return Value::Compare(a, b) == 0;
-  }
-};
-struct RecordHasher {
-  size_t operator()(const Record& r) const { return HashRecord(r); }
-};
-struct RecordEq {
-  bool operator()(const Record& a, const Record& b) const {
-    return CompareRecords(a, b) == 0;
-  }
-};
-
-struct BatchGrid {
-  size_t batch_rows = 0;
-  size_t count = 0;
-};
-
-BatchGrid MakeBatches(size_t n, size_t batch_rows) {
-  if (batch_rows == 0) batch_rows = 1024;
-  return {batch_rows, n == 0 ? 0 : (n + batch_rows - 1) / batch_rows};
-}
-
-/// Runs body(batch_index) for every batch, on the pool when available.
-/// Bodies must only touch their own batch's state. The first non-OK status
-/// in batch order is returned, so error reporting is deterministic.
-Status ForEachBatch(ThreadPool* pool, size_t nbatches,
-                    const std::function<Status(size_t)>& body) {
-  if (nbatches == 0) return Status::Ok();
-  if (pool == nullptr || nbatches == 1) {
-    for (size_t b = 0; b < nbatches; ++b) {
-      DBFA_RETURN_IF_ERROR(body(b));
-    }
-    return Status::Ok();
-  }
-  std::vector<Status> statuses(nbatches);
-  pool->ParallelFor(nbatches, [&](size_t b) { statuses[b] = body(b); });
-  for (Status& s : statuses) {
-    if (!s.ok()) return std::move(s);
-  }
-  return Status::Ok();
-}
-
-/// Moves per-batch outputs into one vector, preserving batch order.
-std::vector<Record> ConcatBatches(std::vector<std::vector<Record>> batches) {
-  size_t total = 0;
-  for (const auto& b : batches) total += b.size();
-  std::vector<Record> out;
-  out.reserve(total);
-  for (auto& b : batches) {
-    for (Record& r : b) out.push_back(std::move(r));
-  }
-  return out;
-}
 
 Status MaterializeRelation(const Relation& rel, std::vector<Record>* out) {
   return rel.Scan([out](const Record& r) {
@@ -94,32 +34,14 @@ Result<QueryTable> ExecuteBatched(const sql::SelectStmt& stmt,
     DBFA_ASSIGN_OR_RETURN(auto right, lookup(join.table.table));
     FrameSet right_frame;
     right_frame.Add(join.table.EffectiveName(), right->columns());
-    // Decide which join column belongs to the already-joined side.
-    std::string left_col = join.left_column;
-    std::string right_col = join.right_column;
-    if (!frames.Resolve(left_col).has_value()) std::swap(left_col, right_col);
-    auto left_idx = frames.Resolve(left_col);
-    auto right_idx = right_frame.Resolve(right_col);
-    if (!left_idx.has_value() || !right_idx.has_value()) {
-      return Status::InvalidArgument(
-          StrFormat("cannot resolve join condition %s = %s",
-                    join.left_column.c_str(), join.right_column.c_str()));
-    }
+    size_t left_idx = 0;
+    size_t right_idx = 0;
+    DBFA_RETURN_IF_ERROR(
+        ResolveJoinColumns(frames, right_frame, join, &left_idx, &right_idx));
 
-    // Build: Value-keyed buckets of right-row indices, in scan order, so
-    // equal keys probe by one hash + one equality check instead of
-    // hash-then-recompare over full record copies.
     std::vector<Record> right_rows;
     DBFA_RETURN_IF_ERROR(MaterializeRelation(*right, &right_rows));
-    std::unordered_map<Value, std::vector<uint32_t>, ValueHasher, ValueEq>
-        table;
-    table.reserve(right_rows.size());
-    for (size_t i = 0; i < right_rows.size(); ++i) {
-      const Record& r = right_rows[i];
-      if (*right_idx >= r.size()) continue;
-      const Value& key = r[*right_idx];
-      if (!key.is_null()) table[key].push_back(static_cast<uint32_t>(i));
-    }
+    JoinTable table = BuildJoinTable(right_rows, right_idx);
 
     // For the last join, bind WHERE against the full combined frame and
     // evaluate it during the probe on a zero-copy left++right view — rows
@@ -146,27 +68,12 @@ Result<QueryTable> ExecuteBatched(const sql::SelectStmt& stmt,
       size_t hi = std::min(rows.size(), lo + grid.batch_rows);
       std::vector<Record>& out = joined[b];
       for (size_t r = lo; r < hi; ++r) {
-        const Record& left_row = rows[r];
-        if (*left_idx >= left_row.size()) continue;
-        const Value& key = left_row[*left_idx];
-        if (key.is_null()) continue;
-        auto it = table.find(key);
-        if (it == table.end()) continue;
-        for (uint32_t ri : it->second) {
-          const Record& right_row = right_rows[ri];
-          if (fused_where != nullptr) {
-            DBFA_ASSIGN_OR_RETURN(
-                bool pass,
-                sql::EvalBoundPredicate(
-                    *fused_where, sql::JoinRowView{&left_row, &right_row}));
-            if (!pass) continue;
-          }
-          Record combined;
-          combined.reserve(left_row.size() + right_row.size());
-          combined.insert(combined.end(), left_row.begin(), left_row.end());
-          combined.insert(combined.end(), right_row.begin(), right_row.end());
-          out.push_back(std::move(combined));
-        }
+        DBFA_RETURN_IF_ERROR(ProbeJoinRow(
+            rows[r], left_idx, table, right_rows, fused_where.get(),
+            [&out](Record combined) {
+              out.push_back(std::move(combined));
+              return Status::Ok();
+            }));
       }
       return Status::Ok();
     }));
@@ -174,14 +81,14 @@ Result<QueryTable> ExecuteBatched(const sql::SelectStmt& stmt,
     frames.Add(join.table.EffectiveName(), right->columns());
   }
 
-  sql::ColumnResolver frame_resolver =
-      [&frames](std::string_view name) { return frames.Resolve(name); };
-
   // ---- WHERE: bind once, filter batches in parallel ------------------
   // (Skipped when the predicate already ran fused into the final join.)
   if (stmt.where != nullptr && !where_fused) {
-    DBFA_ASSIGN_OR_RETURN(sql::BoundExprPtr where,
-                          sql::BindExpr(*stmt.where, frame_resolver));
+    DBFA_ASSIGN_OR_RETURN(
+        sql::BoundExprPtr where,
+        sql::BindExpr(*stmt.where, [&frames](std::string_view name) {
+          return frames.Resolve(name);
+        }));
     BatchGrid grid = MakeBatches(rows.size(), batch_rows);
     std::vector<std::vector<Record>> kept(grid.count);
     DBFA_RETURN_IF_ERROR(ForEachBatch(pool, grid.count, [&](size_t b) {
@@ -201,150 +108,17 @@ Result<QueryTable> ExecuteBatched(const sql::SelectStmt& stmt,
   QueryTable out;
   // ---- Aggregation path ---------------------------------------------
   if (stmt.HasAggregates() || !stmt.group_by.empty()) {
-    for (const sql::SelectItem& item : stmt.items) {
-      if (item.star && item.agg == sql::AggFunc::kNone) {
-        return Status::InvalidArgument("SELECT * with aggregates");
-      }
-      out.columns.push_back(item.OutputName());
-    }
-    // Bind GROUP BY keys and item expressions once.
-    std::vector<size_t> key_idx;
-    key_idx.reserve(stmt.group_by.size());
-    for (const std::string& col : stmt.group_by) {
-      auto idx = frames.Resolve(col);
-      if (!idx.has_value()) {
-        return Status::InvalidArgument("GROUP BY unknown column: " + col);
-      }
-      key_idx.push_back(*idx);
-    }
-    std::vector<sql::BoundExprPtr> bound_items(stmt.items.size());
-    for (size_t i = 0; i < stmt.items.size(); ++i) {
-      if (stmt.items[i].expr != nullptr) {
-        DBFA_ASSIGN_OR_RETURN(bound_items[i],
-                              sql::BindExpr(*stmt.items[i].expr,
-                                            frame_resolver));
-      }
-    }
-
-    // Per-batch partial aggregation into unordered maps with a proper
-    // record hasher, merged in batch order (so group representatives and
-    // integer sums match sequential accumulation exactly).
-    struct Partial {
-      Record rep;  // first row of the group within / across batches
-      std::vector<Accumulator> accs;
-    };
-    using GroupMap = std::unordered_map<Record, Partial, RecordHasher,
-                                        RecordEq>;
-    BatchGrid grid = MakeBatches(rows.size(), batch_rows);
-    std::vector<GroupMap> partials(grid.count);
-    DBFA_RETURN_IF_ERROR(ForEachBatch(pool, grid.count, [&](size_t b) {
-      size_t lo = b * grid.batch_rows;
-      size_t hi = std::min(rows.size(), lo + grid.batch_rows);
-      GroupMap& local = partials[b];
-      for (size_t r = lo; r < hi; ++r) {
-        const Record& row = rows[r];
-        Record key;
-        key.reserve(key_idx.size());
-        for (size_t k = 0; k < key_idx.size(); ++k) {
-          if (key_idx[k] >= row.size()) {
-            return Status::InvalidArgument("GROUP BY unknown column: " +
-                                           stmt.group_by[k]);
-          }
-          key.push_back(row[key_idx[k]]);
-        }
-        auto [it, inserted] = local.try_emplace(std::move(key));
-        Partial& group = it->second;
-        if (inserted) {
-          group.rep = row;
-          group.accs.resize(stmt.items.size());
-        }
-        for (size_t i = 0; i < stmt.items.size(); ++i) {
-          const sql::SelectItem& item = stmt.items[i];
-          if (item.agg == sql::AggFunc::kNone) continue;
-          if (item.star) {
-            group.accs[i].Add(Value::Int(1));  // COUNT(*)
-            continue;
-          }
-          DBFA_ASSIGN_OR_RETURN(Value v, sql::EvalBound(*bound_items[i], row));
-          group.accs[i].Add(v);
-        }
-      }
-      return Status::Ok();
-    }));
-
-    GroupMap groups;
-    for (GroupMap& partial : partials) {
-      for (auto& [key, part] : partial) {
-        auto [it, inserted] = groups.try_emplace(key);
-        if (inserted) {
-          it->second = std::move(part);
-        } else {
-          for (size_t i = 0; i < it->second.accs.size(); ++i) {
-            it->second.accs[i].Merge(part.accs[i]);
-          }
-        }
-      }
-    }
-
-    if (groups.empty() && stmt.group_by.empty()) {
-      // Aggregates over an empty input produce one row.
-      Record row;
-      Accumulator empty;
-      for (const sql::SelectItem& item : stmt.items) {
-        if (item.agg == sql::AggFunc::kNone) {
-          return Status::InvalidArgument(
-              "non-aggregate item over empty ungrouped input");
-        }
-        row.push_back(empty.Final(item.agg));
-      }
-      out.rows.push_back(std::move(row));
-    }
-
-    // Emit groups in key order — the order the reference executor's
-    // ordered map produces.
-    std::vector<std::pair<const Record*, Partial*>> ordered;
-    ordered.reserve(groups.size());
-    for (auto& [key, part] : groups) ordered.push_back({&key, &part});
-    std::sort(ordered.begin(), ordered.end(),
-              [](const auto& a, const auto& b) {
-                return CompareRecords(*a.first, *b.first) < 0;
-              });
-    for (auto& [key, part] : ordered) {
-      Record row;
-      row.reserve(stmt.items.size());
-      for (size_t i = 0; i < stmt.items.size(); ++i) {
-        const sql::SelectItem& item = stmt.items[i];
-        if (item.agg != sql::AggFunc::kNone) {
-          row.push_back(part->accs[i].Final(item.agg));
-        } else {
-          // Non-aggregate items take their value from the group's
-          // representative row (valid for grouped columns).
-          DBFA_ASSIGN_OR_RETURN(Value v,
-                                sql::EvalBound(*bound_items[i], part->rep));
-          row.push_back(std::move(v));
-        }
-      }
-      out.rows.push_back(std::move(row));
-    }
+    DBFA_ASSIGN_OR_RETURN(AggPlan plan,
+                          PlanAggregation(stmt, frames, &out.columns));
+    DBFA_RETURN_IF_ERROR(
+        AggregateRowsInMemory(stmt, plan, rows, batch_rows, pool, &out.rows));
     DBFA_RETURN_IF_ERROR(SortAndLimit(stmt, &out.columns, &out.rows));
     return out;
   }
 
   // ---- Plain projection: bind once, project batches in parallel ------
-  std::vector<sql::BoundExprPtr> exprs;  // null entry = '*' expansion
-  for (const sql::SelectItem& item : stmt.items) {
-    if (item.star) {
-      for (const FrameSet::Frame& f : frames.frames) {
-        for (const std::string& c : f.cols) out.columns.push_back(c);
-      }
-      exprs.push_back(nullptr);
-    } else {
-      out.columns.push_back(item.OutputName());
-      DBFA_ASSIGN_OR_RETURN(sql::BoundExprPtr bound,
-                            sql::BindExpr(*item.expr, frame_resolver));
-      exprs.push_back(std::move(bound));
-    }
-  }
+  DBFA_ASSIGN_OR_RETURN(ProjectionPlan plan,
+                        PlanProjection(stmt, frames, &out.columns));
   BatchGrid grid = MakeBatches(rows.size(), batch_rows);
   std::vector<std::vector<Record>> projected(grid.count);
   DBFA_RETURN_IF_ERROR(ForEachBatch(pool, grid.count, [&](size_t b) {
@@ -353,16 +127,8 @@ Result<QueryTable> ExecuteBatched(const sql::SelectStmt& stmt,
     std::vector<Record>& batch_out = projected[b];
     batch_out.reserve(hi - lo);
     for (size_t r = lo; r < hi; ++r) {
-      const Record& row = rows[r];
       Record p;
-      for (const sql::BoundExprPtr& e : exprs) {
-        if (e == nullptr) {
-          p.insert(p.end(), row.begin(), row.end());
-        } else {
-          DBFA_ASSIGN_OR_RETURN(Value v, sql::EvalBound(*e, row));
-          p.push_back(std::move(v));
-        }
-      }
+      DBFA_RETURN_IF_ERROR(ProjectRow(plan, rows[r], &p));
       batch_out.push_back(std::move(p));
     }
     return Status::Ok();

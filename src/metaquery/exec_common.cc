@@ -100,34 +100,318 @@ Value Accumulator::Final(sql::AggFunc f) const {
   return Value::Null();
 }
 
+// ---- Batch scheduling ---------------------------------------------------
+
+BatchGrid MakeBatches(size_t n, size_t batch_rows) {
+  if (batch_rows == 0) batch_rows = 1024;
+  return {batch_rows, n == 0 ? 0 : (n + batch_rows - 1) / batch_rows};
+}
+
+Status ForEachBatch(ThreadPool* pool, size_t nbatches,
+                    const std::function<Status(size_t)>& body) {
+  if (nbatches == 0) return Status::Ok();
+  if (pool == nullptr || nbatches == 1) {
+    for (size_t b = 0; b < nbatches; ++b) {
+      DBFA_RETURN_IF_ERROR(body(b));
+    }
+    return Status::Ok();
+  }
+  std::vector<Status> statuses(nbatches);
+  pool->ParallelFor(nbatches, [&](size_t b) { statuses[b] = body(b); });
+  for (Status& s : statuses) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::Ok();
+}
+
+std::vector<Record> ConcatBatches(std::vector<std::vector<Record>> batches) {
+  size_t total = 0;
+  for (const auto& b : batches) total += b.size();
+  std::vector<Record> out;
+  out.reserve(total);
+  for (auto& b : batches) {
+    for (Record& r : b) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+// ---- Join ----------------------------------------------------------------
+
+JoinTable BuildJoinTable(const std::vector<Record>& right_rows,
+                         size_t right_idx) {
+  JoinTable table;
+  table.reserve(right_rows.size());
+  for (size_t i = 0; i < right_rows.size(); ++i) {
+    const Record& r = right_rows[i];
+    if (right_idx >= r.size()) continue;
+    const Value& key = r[right_idx];
+    if (!key.is_null()) table[key].push_back(static_cast<uint32_t>(i));
+  }
+  return table;
+}
+
+Status ResolveJoinColumns(const FrameSet& frames, const FrameSet& right_frame,
+                          const sql::JoinClause& join, size_t* left_idx,
+                          size_t* right_idx) {
+  // Decide which join column belongs to the already-joined side.
+  std::string left_col = join.left_column;
+  std::string right_col = join.right_column;
+  if (!frames.Resolve(left_col).has_value()) std::swap(left_col, right_col);
+  auto left = frames.Resolve(left_col);
+  auto right = right_frame.Resolve(right_col);
+  if (!left.has_value() || !right.has_value()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot resolve join condition %s = %s",
+                  join.left_column.c_str(), join.right_column.c_str()));
+  }
+  *left_idx = *left;
+  *right_idx = *right;
+  return Status::Ok();
+}
+
+// ---- Aggregation ---------------------------------------------------------
+
+Result<AggPlan> PlanAggregation(const sql::SelectStmt& stmt,
+                                const FrameSet& frames,
+                                std::vector<std::string>* out_columns) {
+  for (const sql::SelectItem& item : stmt.items) {
+    if (item.star && item.agg == sql::AggFunc::kNone) {
+      return Status::InvalidArgument("SELECT * with aggregates");
+    }
+    out_columns->push_back(item.OutputName());
+  }
+  AggPlan plan;
+  plan.key_idx.reserve(stmt.group_by.size());
+  for (const std::string& col : stmt.group_by) {
+    auto idx = frames.Resolve(col);
+    if (!idx.has_value()) {
+      return Status::InvalidArgument("GROUP BY unknown column: " + col);
+    }
+    plan.key_idx.push_back(*idx);
+  }
+  plan.items.resize(stmt.items.size());
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (stmt.items[i].expr != nullptr) {
+      DBFA_ASSIGN_OR_RETURN(
+          plan.items[i],
+          sql::BindExpr(*stmt.items[i].expr, [&frames](std::string_view name) {
+            return frames.Resolve(name);
+          }));
+    }
+  }
+  return plan;
+}
+
+Status MakeGroupKey(const sql::SelectStmt& stmt, const AggPlan& plan,
+                    const Record& row, Record* key) {
+  key->clear();
+  key->reserve(plan.key_idx.size());
+  for (size_t k = 0; k < plan.key_idx.size(); ++k) {
+    if (plan.key_idx[k] >= row.size()) {
+      return Status::InvalidArgument("GROUP BY unknown column: " +
+                                     stmt.group_by[k]);
+    }
+    key->push_back(row[plan.key_idx[k]]);
+  }
+  return Status::Ok();
+}
+
+Status AccumulateRow(const sql::SelectStmt& stmt, const AggPlan& plan,
+                     const Record& row, std::vector<Accumulator>* accs) {
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const sql::SelectItem& item = stmt.items[i];
+    if (item.agg == sql::AggFunc::kNone) continue;
+    if (item.star) {
+      (*accs)[i].Add(Value::Int(1));  // COUNT(*)
+      continue;
+    }
+    DBFA_ASSIGN_OR_RETURN(Value v, sql::EvalBound(*plan.items[i], row));
+    (*accs)[i].Add(v);
+  }
+  return Status::Ok();
+}
+
+Status EmitGroupRow(const sql::SelectStmt& stmt, const AggPlan& plan,
+                    const Record& rep, const std::vector<Accumulator>& accs,
+                    Record* out) {
+  out->clear();
+  out->reserve(stmt.items.size());
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const sql::SelectItem& item = stmt.items[i];
+    if (item.agg != sql::AggFunc::kNone) {
+      out->push_back(accs[i].Final(item.agg));
+    } else {
+      // Non-aggregate items take their value from the group's
+      // representative row (valid for grouped columns).
+      DBFA_ASSIGN_OR_RETURN(Value v, sql::EvalBound(*plan.items[i], rep));
+      out->push_back(std::move(v));
+    }
+  }
+  return Status::Ok();
+}
+
+Status EmitEmptyAggregateRow(const sql::SelectStmt& stmt, Record* out) {
+  out->clear();
+  Accumulator empty;
+  for (const sql::SelectItem& item : stmt.items) {
+    if (item.agg == sql::AggFunc::kNone) {
+      return Status::InvalidArgument(
+          "non-aggregate item over empty ungrouped input");
+    }
+    out->push_back(empty.Final(item.agg));
+  }
+  return Status::Ok();
+}
+
+Status AggregateRowsInMemory(const sql::SelectStmt& stmt, const AggPlan& plan,
+                             const std::vector<Record>& rows,
+                             size_t batch_rows, ThreadPool* pool,
+                             std::vector<Record>* out_rows) {
+  // Per-batch partial aggregation into unordered maps with a proper record
+  // hasher, merged in batch order (so group representatives and integer
+  // sums match sequential accumulation exactly).
+  struct Partial {
+    Record rep;  // first row of the group within / across batches
+    std::vector<Accumulator> accs;
+  };
+  using GroupMap = std::unordered_map<Record, Partial, RecordHasher, RecordEq>;
+  BatchGrid grid = MakeBatches(rows.size(), batch_rows);
+  std::vector<GroupMap> partials(grid.count);
+  DBFA_RETURN_IF_ERROR(ForEachBatch(pool, grid.count, [&](size_t b) {
+    size_t lo = b * grid.batch_rows;
+    size_t hi = std::min(rows.size(), lo + grid.batch_rows);
+    GroupMap& local = partials[b];
+    for (size_t r = lo; r < hi; ++r) {
+      const Record& row = rows[r];
+      Record key;
+      DBFA_RETURN_IF_ERROR(MakeGroupKey(stmt, plan, row, &key));
+      auto [it, inserted] = local.try_emplace(std::move(key));
+      Partial& group = it->second;
+      if (inserted) {
+        group.rep = row;
+        group.accs.resize(stmt.items.size());
+      }
+      DBFA_RETURN_IF_ERROR(AccumulateRow(stmt, plan, row, &group.accs));
+    }
+    return Status::Ok();
+  }));
+
+  GroupMap groups;
+  for (GroupMap& partial : partials) {
+    for (auto& [key, part] : partial) {
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        it->second = std::move(part);
+      } else {
+        for (size_t i = 0; i < it->second.accs.size(); ++i) {
+          it->second.accs[i].Merge(part.accs[i]);
+        }
+      }
+    }
+  }
+
+  if (groups.empty() && stmt.group_by.empty()) {
+    // Aggregates over an empty input produce one row.
+    Record row;
+    DBFA_RETURN_IF_ERROR(EmitEmptyAggregateRow(stmt, &row));
+    out_rows->push_back(std::move(row));
+  }
+
+  // Emit groups in key order — the order the reference executor's ordered
+  // map produces.
+  std::vector<std::pair<const Record*, Partial*>> ordered;
+  ordered.reserve(groups.size());
+  for (auto& [key, part] : groups) ordered.push_back({&key, &part});
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    return CompareRecords(*a.first, *b.first) < 0;
+  });
+  for (auto& [key, part] : ordered) {
+    Record row;
+    DBFA_RETURN_IF_ERROR(EmitGroupRow(stmt, plan, part->rep, part->accs, &row));
+    out_rows->push_back(std::move(row));
+  }
+  return Status::Ok();
+}
+
+// ---- Projection ----------------------------------------------------------
+
+Result<ProjectionPlan> PlanProjection(const sql::SelectStmt& stmt,
+                                      const FrameSet& frames,
+                                      std::vector<std::string>* out_columns) {
+  ProjectionPlan plan;
+  for (const sql::SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (const FrameSet::Frame& f : frames.frames) {
+        for (const std::string& c : f.cols) out_columns->push_back(c);
+      }
+      plan.exprs.push_back(nullptr);
+    } else {
+      out_columns->push_back(item.OutputName());
+      DBFA_ASSIGN_OR_RETURN(
+          sql::BoundExprPtr bound,
+          sql::BindExpr(*item.expr, [&frames](std::string_view name) {
+            return frames.Resolve(name);
+          }));
+      plan.exprs.push_back(std::move(bound));
+    }
+  }
+  return plan;
+}
+
+Status ProjectRow(const ProjectionPlan& plan, const Record& row, Record* out) {
+  out->clear();
+  for (const sql::BoundExprPtr& e : plan.exprs) {
+    if (e == nullptr) {
+      out->insert(out->end(), row.begin(), row.end());
+    } else {
+      DBFA_ASSIGN_OR_RETURN(Value v, sql::EvalBound(*e, row));
+      out->push_back(std::move(v));
+    }
+  }
+  return Status::Ok();
+}
+
+// ---- ORDER BY / LIMIT ----------------------------------------------------
+
+Status ResolveOrderKeys(const sql::SelectStmt& stmt,
+                        const std::vector<std::string>& columns,
+                        std::vector<int>* idx, std::vector<bool>* desc) {
+  for (const sql::OrderKey& key : stmt.order_by) {
+    int found = -1;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (EqualsIgnoreCase(columns[i], key.column)) {
+        found = static_cast<int>(i);
+        break;
+      }
+    }
+    if (found < 0) {
+      return Status::InvalidArgument("ORDER BY unknown column: " + key.column);
+    }
+    idx->push_back(found);
+    desc->push_back(key.descending);
+  }
+  return Status::Ok();
+}
+
+bool OrderKeyLess(const Record& a, const Record& b,
+                  const std::vector<int>& idx, const std::vector<bool>& desc) {
+  for (size_t k = 0; k < idx.size(); ++k) {
+    int c = Value::Compare(a[idx[k]], b[idx[k]]);
+    if (c != 0) return desc[k] ? c > 0 : c < 0;
+  }
+  return false;
+}
+
 Status SortAndLimit(const sql::SelectStmt& stmt,
                     std::vector<std::string>* columns,
                     std::vector<Record>* rows) {
   if (!stmt.order_by.empty()) {
     std::vector<int> idx;
     std::vector<bool> desc;
-    for (const sql::OrderKey& key : stmt.order_by) {
-      int found = -1;
-      for (size_t i = 0; i < columns->size(); ++i) {
-        if (EqualsIgnoreCase((*columns)[i], key.column)) {
-          found = static_cast<int>(i);
-          break;
-        }
-      }
-      if (found < 0) {
-        return Status::InvalidArgument("ORDER BY unknown column: " +
-                                       key.column);
-      }
-      idx.push_back(found);
-      desc.push_back(key.descending);
-    }
+    DBFA_RETURN_IF_ERROR(ResolveOrderKeys(stmt, *columns, &idx, &desc));
     std::stable_sort(rows->begin(), rows->end(),
                      [&](const Record& a, const Record& b) {
-                       for (size_t k = 0; k < idx.size(); ++k) {
-                         int c = Value::Compare(a[idx[k]], b[idx[k]]);
-                         if (c != 0) return desc[k] ? c > 0 : c < 0;
-                       }
-                       return false;
+                       return OrderKeyLess(a, b, idx, desc);
                      });
   }
   if (stmt.limit >= 0 && rows->size() > static_cast<size_t>(stmt.limit)) {

@@ -1,7 +1,13 @@
-// Internals shared by the two meta-query executors: the batched engine
-// (batch_executor.cc, the default) and the tuple-at-a-time reference
-// implementation (reference_executor.cc, kept for differential testing).
-// Not part of the public metaquery API.
+// Internals shared by the three meta-query executors: the batched engine
+// (batch_executor.cc, the default), the out-of-core engine
+// (spill_executor.cc, selected by MetaQueryOptions::memory_budget_bytes),
+// and the tuple-at-a-time reference implementation (reference_executor.cc,
+// kept for differential testing). Not part of the public metaquery API.
+//
+// The batched and out-of-core engines must produce bit-identical results,
+// so every piece of per-row semantics they share — join probing, group
+// accumulation, group emission, projection, ORDER BY comparison — lives
+// here and is compiled exactly once.
 #ifndef DBFA_METAQUERY_EXEC_COMMON_H_
 #define DBFA_METAQUERY_EXEC_COMMON_H_
 
@@ -9,9 +15,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "metaquery/relation.h"
+#include "metaquery/session.h"
+#include "sql/bound_expr.h"
 #include "sql/statement.h"
 
 namespace dbfa::metaquery_internal {
@@ -57,6 +68,165 @@ struct Accumulator {
 
   Value Final(sql::AggFunc f) const;
 };
+
+// ---- Hash wrappers ------------------------------------------------------
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const {
+    return Value::Compare(a, b) == 0;
+  }
+};
+struct RecordHasher {
+  size_t operator()(const Record& r) const { return HashRecord(r); }
+};
+struct RecordEq {
+  bool operator()(const Record& a, const Record& b) const {
+    return CompareRecords(a, b) == 0;
+  }
+};
+
+// ---- Batch scheduling ---------------------------------------------------
+
+struct BatchGrid {
+  size_t batch_rows = 0;
+  size_t count = 0;
+};
+
+/// Batch geometry is a pure function of input size and batch_rows — never
+/// of thread count — which is the root of the determinism contract.
+BatchGrid MakeBatches(size_t n, size_t batch_rows);
+
+/// Runs body(batch_index) for every batch, on the pool when available.
+/// Bodies must only touch their own batch's state. The first non-OK status
+/// in batch order is returned, so error reporting is deterministic.
+Status ForEachBatch(ThreadPool* pool, size_t nbatches,
+                    const std::function<Status(size_t)>& body);
+
+/// Moves per-batch outputs into one vector, preserving batch order.
+std::vector<Record> ConcatBatches(std::vector<std::vector<Record>> batches);
+
+// ---- Join ----------------------------------------------------------------
+
+/// Value-keyed buckets of right-row indices, in scan order, so equal keys
+/// probe by one hash + one equality check and preserve right scan order.
+using JoinTable =
+    std::unordered_map<Value, std::vector<uint32_t>, ValueHasher, ValueEq>;
+
+/// Builds the probe table over `right_rows` keyed by column `right_idx`.
+/// NULL keys and rows too short to hold the column are excluded.
+JoinTable BuildJoinTable(const std::vector<Record>& right_rows,
+                         size_t right_idx);
+
+/// Resolves which side of `join` belongs to the already-joined frames and
+/// which to the incoming right frame.
+Status ResolveJoinColumns(const FrameSet& frames, const FrameSet& right_frame,
+                          const sql::JoinClause& join, size_t* left_idx,
+                          size_t* right_idx);
+
+/// Probes one left row against the table; for every surviving match calls
+/// emit(combined_record). When `fused_where` is non-null it is evaluated on
+/// a zero-copy left++right view before materializing the combined record.
+/// Match order is right scan order within the key — the contract both
+/// engines share.
+template <typename Emit>
+Status ProbeJoinRow(const Record& left_row, size_t left_idx,
+                    const JoinTable& table,
+                    const std::vector<Record>& right_rows,
+                    const sql::BoundExpr* fused_where, Emit&& emit) {
+  if (left_idx >= left_row.size()) return Status::Ok();
+  const Value& key = left_row[left_idx];
+  if (key.is_null()) return Status::Ok();
+  auto it = table.find(key);
+  if (it == table.end()) return Status::Ok();
+  for (uint32_t ri : it->second) {
+    const Record& right_row = right_rows[ri];
+    if (fused_where != nullptr) {
+      DBFA_ASSIGN_OR_RETURN(
+          bool pass,
+          sql::EvalBoundPredicate(*fused_where,
+                                  sql::JoinRowView{&left_row, &right_row}));
+      if (!pass) continue;
+    }
+    Record combined;
+    combined.reserve(left_row.size() + right_row.size());
+    combined.insert(combined.end(), left_row.begin(), left_row.end());
+    combined.insert(combined.end(), right_row.begin(), right_row.end());
+    DBFA_RETURN_IF_ERROR(emit(std::move(combined)));
+  }
+  return Status::Ok();
+}
+
+// ---- Aggregation ---------------------------------------------------------
+
+/// Plan-time aggregation state: output column names, bound GROUP BY key
+/// indices, bound item expressions (null entries for expression-less items
+/// such as COUNT(*)).
+struct AggPlan {
+  std::vector<size_t> key_idx;
+  std::vector<sql::BoundExprPtr> items;
+};
+
+/// Validates the SELECT list, emits output column names, resolves GROUP BY
+/// keys and binds item expressions — the shared aggregation "plan" step.
+Result<AggPlan> PlanAggregation(const sql::SelectStmt& stmt,
+                                const FrameSet& frames,
+                                std::vector<std::string>* out_columns);
+
+/// Extracts the GROUP BY key of `row` (with the same unknown-column error
+/// the engines have always produced for rows narrower than the key).
+Status MakeGroupKey(const sql::SelectStmt& stmt, const AggPlan& plan,
+                    const Record& row, Record* key);
+
+/// Folds one row into the per-item accumulators (sized to stmt.items).
+Status AccumulateRow(const sql::SelectStmt& stmt, const AggPlan& plan,
+                     const Record& row, std::vector<Accumulator>* accs);
+
+/// Produces the output row of one finished group: aggregates finalize,
+/// non-aggregate items evaluate against the group's representative row.
+Status EmitGroupRow(const sql::SelectStmt& stmt, const AggPlan& plan,
+                    const Record& rep, const std::vector<Accumulator>& accs,
+                    Record* out);
+
+/// The single output row of an aggregate query over empty ungrouped input
+/// (errors when a non-aggregate item is present).
+Status EmitEmptyAggregateRow(const sql::SelectStmt& stmt, Record* out);
+
+/// The batched in-memory GROUP BY operator: per-batch partial maps merged
+/// in batch order, groups emitted sorted by key. Appends result rows to
+/// *out_rows. Used verbatim by the batched engine and by the out-of-core
+/// engine when its input fits the budget.
+Status AggregateRowsInMemory(const sql::SelectStmt& stmt, const AggPlan& plan,
+                             const std::vector<Record>& rows,
+                             size_t batch_rows, ThreadPool* pool,
+                             std::vector<Record>* out_rows);
+
+// ---- Projection ----------------------------------------------------------
+
+/// Bound SELECT items for the non-aggregate path; null entries mark '*'
+/// expansions. Emits output column names.
+struct ProjectionPlan {
+  std::vector<sql::BoundExprPtr> exprs;
+};
+
+Result<ProjectionPlan> PlanProjection(const sql::SelectStmt& stmt,
+                                      const FrameSet& frames,
+                                      std::vector<std::string>* out_columns);
+
+Status ProjectRow(const ProjectionPlan& plan, const Record& row, Record* out);
+
+// ---- ORDER BY / LIMIT ----------------------------------------------------
+
+/// Resolves ORDER BY columns against the output column names.
+Status ResolveOrderKeys(const sql::SelectStmt& stmt,
+                        const std::vector<std::string>& columns,
+                        std::vector<int>* idx, std::vector<bool>* desc);
+
+/// Strict-weak ordering for ORDER BY: true when a sorts before b.
+bool OrderKeyLess(const Record& a, const Record& b,
+                  const std::vector<int>& idx, const std::vector<bool>& desc);
 
 /// Applies ORDER BY (resolved once against the output column names) and
 /// LIMIT to a finished result table.

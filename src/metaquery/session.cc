@@ -5,6 +5,7 @@
 #include "common/strings.h"
 #include "metaquery/batch_executor.h"
 #include "metaquery/reference_executor.h"
+#include "metaquery/spill_executor.h"
 
 namespace dbfa {
 
@@ -138,8 +139,13 @@ Result<QueryTable> MetaQuerySession::Query(const std::string& select_sql) {
 Result<QueryTable> MetaQuerySession::Execute(const sql::SelectStmt& stmt) {
   metaquery_internal::RelationResolver lookup =
       [this](const std::string& name) { return Lookup(name); };
+  last_spill_stats_ = {};
   if (options_.use_reference) {
     return metaquery_internal::ExecuteReference(stmt, lookup);
+  }
+  if (options_.memory_budget_bytes > 0) {
+    return metaquery_internal::ExecuteOutOfCore(
+        stmt, lookup, options_, PoolForQuery(), &last_spill_stats_);
   }
   return metaquery_internal::ExecuteBatched(stmt, lookup, options_.batch_rows,
                                             PoolForQuery());

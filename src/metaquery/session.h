@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/spill_manager.h"
 #include "common/thread_pool.h"
 #include "metaquery/relation.h"
 #include "sql/parser.h"
@@ -48,6 +49,15 @@ struct MetaQueryOptions {
   /// Run the retained tuple-at-a-time reference executor instead of the
   /// batched engine (differential tests and benchmarks).
   bool use_reference = false;
+  /// When non-zero, queries run on the out-of-core engine: each operator
+  /// may hold roughly this many bytes of rows in memory and spills the
+  /// rest to checksummed temp files (docs/spilling.md). Results are
+  /// bit-identical to the in-memory engine at every budget. 0 keeps
+  /// everything in memory.
+  size_t memory_budget_bytes = 0;
+  /// Directory spill files are created under (a unique per-query
+  /// subdirectory is always used). Empty means the system temp directory.
+  std::string spill_dir;
 };
 
 class MetaQuerySession {
@@ -81,6 +91,11 @@ class MetaQuerySession {
   /// Takes effect for subsequent queries; resizes the worker pool lazily.
   void set_options(const MetaQueryOptions& options);
 
+  /// Spill activity of the most recent Query/Execute call. All zeros when
+  /// the query ran fully in memory (including whenever
+  /// memory_budget_bytes == 0).
+  const SpillStats& last_spill_stats() const { return last_spill_stats_; }
+
  private:
   Result<std::shared_ptr<Relation>> Lookup(const std::string& name) const;
 
@@ -88,6 +103,7 @@ class MetaQuerySession {
   ThreadPool* PoolForQuery();
 
   MetaQueryOptions options_;
+  SpillStats last_spill_stats_;
   std::unique_ptr<ThreadPool> pool_;
   std::map<std::string, std::shared_ptr<Relation>> relations_;  // lower key
   std::map<std::string, std::string> display_names_;

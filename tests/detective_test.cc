@@ -222,6 +222,77 @@ TEST(DetectiveTest, LoggedSelectExplainsCachePattern) {
   EXPECT_TRUE(reads->empty()) << (*reads)[0].ToString();
 }
 
+TEST(DetectiveTest, MakeMetaQuerySessionRunsBudgetedSql) {
+  // Investigations over large carves drop the carved relations into a
+  // meta-query session with a memory budget; the out-of-core engine must
+  // return exactly what the unlimited session returns.
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  SyntheticWorkload workload(db->get(), "Accounts", 5);
+  ASSERT_TRUE(workload.Setup(150).ok());
+  ASSERT_TRUE((*db)->ExecuteSql("DELETE FROM Accounts WHERE Id <= 30").ok());
+
+  auto disk_carve = CarveDisk(db->get());
+  ASSERT_TRUE(disk_carve.ok());
+  Bytes ram = (*db)->SnapshotRam();
+  CarveOptions ram_options;
+  ram_options.scan_step = (*db)->params().page_size;
+  Carver ram_carver(ConfigFor(**db), ram_options);
+  auto ram_carve = ram_carver.Carve(ram);
+  ASSERT_TRUE(ram_carve.ok());
+
+  const std::string query =
+      "SELECT Id, RowStatus FROM CarvDiskAccounts "
+      "WHERE RowStatus = 'DELETED' ORDER BY Id";
+
+  DbDetective unlimited_detective(&*disk_carve, &(*db)->audit_log(),
+                                  &*ram_carve);
+  auto unlimited = unlimited_detective.MakeMetaQuerySession();
+  ASSERT_TRUE(unlimited.ok()) << unlimited.status().ToString();
+  auto expected = unlimited->Query(query);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  ASSERT_GT(expected->rows.size(), 0u);
+
+  DetectiveOptions options;
+  options.metaquery.memory_budget_bytes = 1024;
+  DbDetective detective(&*disk_carve, &(*db)->audit_log(), &*ram_carve,
+                        options);
+  auto session = detective.MakeMetaQuerySession();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  // Both snapshots are registered under Section II-C's naming.
+  std::vector<std::string> names = session->RelationNames();
+  bool disk_seen = false;
+  bool ram_seen = false;
+  for (const std::string& name : names) {
+    if (name == "CarvDiskAccounts") disk_seen = true;
+    if (name == "CarvRAMAccounts") ram_seen = true;
+  }
+  EXPECT_TRUE(disk_seen);
+  EXPECT_TRUE(ram_seen);
+
+  auto actual = session->Query(query);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_TRUE(session->last_spill_stats().spilled())
+      << "a 1 KB budget over a 150-row carve must spill";
+  ASSERT_EQ(expected->columns, actual->columns);
+  ASSERT_EQ(expected->rows.size(), actual->rows.size());
+  for (size_t r = 0; r < expected->rows.size(); ++r) {
+    ASSERT_EQ(expected->rows[r].size(), actual->rows[r].size());
+    for (size_t c = 0; c < expected->rows[r].size(); ++c) {
+      EXPECT_EQ(Value::Compare(expected->rows[r][c], actual->rows[r][c]), 0)
+          << "row " << r << " col " << c;
+    }
+  }
+
+  // The cross-snapshot join from Section II-C's example also runs under
+  // the budget.
+  auto joined = session->Query(
+      "SELECT CarvDiskAccounts.Id FROM CarvDiskAccounts "
+      "JOIN CarvRAMAccounts ON CarvDiskAccounts.Id = CarvRAMAccounts.Id "
+      "ORDER BY CarvDiskAccounts.Id LIMIT 20");
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+}
+
 TEST(ConfidenceTest, CleanFreshDatabaseScoresHigh) {
   auto db = Database::Open(DatabaseOptions{}).value();
   SyntheticWorkload workload(db.get(), "Accounts", 31);

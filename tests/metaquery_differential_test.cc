@@ -1,8 +1,11 @@
-// Differential suite: the batched executor vs. the tuple-at-a-time
-// reference executor over randomized SELECTs, at several thread counts and
-// batch sizes. Results must be identical — same column names, same rows,
-// same order, same value types. Runs under the `sanitize` CTest label so
-// TSan sees the parallel operators with real thread interleavings.
+// Differential suite, three ways: the tuple-at-a-time reference executor
+// is the oracle, and both the batched engine (several thread counts and
+// batch sizes) and the out-of-core engine (budgets from 4 KB to 1 MB —
+// every operator forced to spill — across thread counts) must reproduce
+// its results exactly — same column names, same rows, same order, same
+// value types, bit-identical doubles. Runs under the `sanitize` CTest
+// label so TSan sees the parallel operators with real thread
+// interleavings, and under `spill` for the low-budget CI job.
 //
 // Double-valued columns only hold multiples of 0.25 in a small range, so
 // every SUM/AVG is exact in binary floating point and batched
@@ -202,6 +205,42 @@ class MetaQueryDifferentialTest : public ::testing::Test {
                           StrFormat("[threads=%zu batch=%zu] %s", threads,
                                     batch_rows, query.c_str()));
         }
+      }
+      // Out-of-core engine: 4 KB spills every operator on these tables,
+      // 1 MB spills almost nothing; all budgets must agree with the
+      // unlimited runs above at every thread count.
+      for (size_t budget : {4096u, 65536u, 1048576u}) {
+        for (size_t threads : {1u, 2u, 8u}) {
+          MetaQueryOptions options;
+          options.num_threads = threads;
+          options.batch_rows = 64;
+          options.memory_budget_bytes = budget;
+          MetaQuerySession session(options);
+          session.Register("T1", t1);
+          session.Register("T2", t2);
+          auto actual = session.Query(query);
+          ASSERT_TRUE(actual.ok())
+              << query << ": " << actual.status().ToString();
+          ExpectSameTable(*expected, *actual,
+                          StrFormat("[budget=%zu threads=%zu] %s", budget,
+                                    threads, query.c_str()));
+        }
+      }
+      {
+        // Spot-check the default batch geometry under the tightest budget.
+        MetaQueryOptions options;
+        options.num_threads = 2;
+        options.batch_rows = 1024;
+        options.memory_budget_bytes = 4096;
+        MetaQuerySession session(options);
+        session.Register("T1", t1);
+        session.Register("T2", t2);
+        auto actual = session.Query(query);
+        ASSERT_TRUE(actual.ok()) << query << ": "
+                                 << actual.status().ToString();
+        ExpectSameTable(*expected, *actual,
+                        StrFormat("[budget=4096 batch=1024] %s",
+                                  query.c_str()));
       }
     }
   }

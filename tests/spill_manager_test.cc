@@ -1,0 +1,170 @@
+#include "common/spill_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dbfa {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestRoot(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+std::vector<std::string> ReadAll(const SpillFile& file) {
+  auto reader = file.OpenReader();
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  std::vector<std::string> blocks;
+  std::string payload;
+  while (true) {
+    auto more = reader->NextBlock(&payload);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !*more) break;
+    blocks.push_back(payload);
+  }
+  return blocks;
+}
+
+TEST(SpillManagerTest, BlocksRoundTrip) {
+  SpillManager manager(TestRoot("spill_roundtrip"));
+  auto file = manager.CreateFile();
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+
+  std::vector<std::string> payloads = {"alpha", std::string(100000, 'x'),
+                                       std::string("\0\x01\xff", 3), "tail"};
+  for (const std::string& p : payloads) {
+    ASSERT_TRUE(file->AppendBlock(p).ok());
+  }
+  EXPECT_EQ(file->block_count(), payloads.size());
+  EXPECT_EQ(ReadAll(*file), payloads);
+
+  SpillStats stats = manager.stats();
+  EXPECT_EQ(stats.files_created, 1u);
+  EXPECT_EQ(stats.blocks_written, payloads.size());
+  EXPECT_EQ(stats.blocks_read, payloads.size());
+  EXPECT_TRUE(stats.spilled());
+}
+
+TEST(SpillManagerTest, IndependentReaders) {
+  SpillManager manager(TestRoot("spill_readers"));
+  auto file = manager.CreateFile();
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->AppendBlock("one").ok());
+  ASSERT_TRUE(file->AppendBlock("two").ok());
+
+  auto r1 = file->OpenReader();
+  auto r2 = file->OpenReader();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  std::string a;
+  std::string b;
+  ASSERT_TRUE(r1->NextBlock(&a).ok());
+  ASSERT_TRUE(r2->NextBlock(&b).ok());
+  EXPECT_EQ(a, "one");
+  EXPECT_EQ(b, "one");  // cursors advance independently
+}
+
+TEST(SpillManagerTest, EmptyFileReadsNothing) {
+  SpillManager manager(TestRoot("spill_empty"));
+  auto file = manager.CreateFile();
+  ASSERT_TRUE(file.ok());
+  auto reader = file->OpenReader();
+  ASSERT_TRUE(reader.ok());
+  std::string payload;
+  auto more = reader->NextBlock(&payload);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST(SpillManagerTest, DetectsBitFlip) {
+  SpillManager manager(TestRoot("spill_bitflip"));
+  auto file = manager.CreateFile();
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->AppendBlock("sensitive payload bytes").ok());
+
+  {
+    // Flip one payload byte behind the writer's back.
+    std::fstream f(file->path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(8 + 3);  // past the 8-byte header, into the payload
+    f.put('X');
+  }
+
+  auto reader = file->OpenReader();
+  ASSERT_TRUE(reader.ok());
+  std::string payload;
+  auto more = reader->NextBlock(&payload);
+  ASSERT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SpillManagerTest, DetectsTruncatedBlock) {
+  SpillManager manager(TestRoot("spill_truncated"));
+  auto file = manager.CreateFile();
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->AppendBlock("0123456789").ok());
+  fs::resize_file(file->path(), 12);  // header + 4 of 10 payload bytes
+
+  auto reader = file->OpenReader();
+  ASSERT_TRUE(reader.ok());
+  std::string payload;
+  auto more = reader->NextBlock(&payload);
+  ASSERT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SpillManagerTest, FileUnlinkedWhenHandleDies) {
+  SpillManager manager(TestRoot("spill_unlink"));
+  std::string path;
+  {
+    auto file = manager.CreateFile();
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->AppendBlock("data").ok());
+    path = file->path();
+    EXPECT_TRUE(fs::exists(path));
+  }
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(SpillManagerTest, DirectoryRemovedOnDestruction) {
+  std::string root = TestRoot("spill_dirgone");
+  std::string dir;
+  {
+    SpillManager manager(root);
+    auto file = manager.CreateFile();
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->AppendBlock("data").ok());
+    dir = manager.dir();
+    EXPECT_TRUE(fs::exists(dir));
+    // ~SpillManager must clean up even with the file still live (abnormal
+    // teardown order during stack unwinding).
+  }
+  EXPECT_FALSE(fs::exists(dir));
+  // The caller-provided root itself is left alone.
+  EXPECT_TRUE(fs::exists(root));
+}
+
+TEST(SpillManagerTest, CreatesMissingRoot) {
+  fs::remove_all(TestRoot("spill_missing"));  // leftovers from prior runs
+  std::string root = TestRoot("spill_missing/nested/root");
+  ASSERT_FALSE(fs::exists(root));
+  SpillManager manager(root);
+  auto file = manager.CreateFile();
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_TRUE(fs::exists(root));
+}
+
+TEST(SpillManagerTest, LazyUntilFirstFile) {
+  std::string root = TestRoot("spill_lazy");
+  SpillManager manager(root);
+  EXPECT_EQ(manager.dir(), "");
+  EXPECT_FALSE(fs::exists(root));  // constructor touches nothing
+}
+
+}  // namespace
+}  // namespace dbfa
