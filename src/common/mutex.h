@@ -1,0 +1,129 @@
+// Annotated synchronization primitives.
+//
+// Every mutex in dbfa goes through these wrappers so lock discipline is
+// compiler-verified: under Clang the DBFA_* macros expand to the
+// -Wthread-safety attributes (and CI builds with -Werror=thread-safety),
+// under other compilers they expand to nothing and the wrappers cost the
+// same as the std primitives they delegate to. See docs/static_analysis.md
+// for the conventions.
+//
+// Usage pattern:
+//
+//   class Cache {
+//    public:
+//     void Put(Entry e) {
+//       MutexLock lock(&mu_);
+//       entries_.push_back(std::move(e));   // checked: mu_ is held
+//     }
+//    private:
+//     Mutex mu_;
+//     std::vector<Entry> entries_ DBFA_GUARDED_BY(mu_);
+//   };
+//
+// Condition waits are written as explicit while-loops over guarded state
+// rather than predicate lambdas, because the analysis cannot see that a
+// lambda body runs with the capability held:
+//
+//   MutexLock lock(&mu_);
+//   while (!ready_) cv_.Wait(&mu_);        // checked
+#ifndef DBFA_COMMON_MUTEX_H_
+#define DBFA_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// -- Clang thread-safety attribute macros ----------------------------------
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html. The DBFA_ prefix
+// keeps them out of the global macro namespace; the spelling mirrors the
+// attribute names so annotated code reads like the Clang documentation.
+#if defined(__clang__)
+#define DBFA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DBFA_THREAD_ANNOTATION_(x)
+#endif
+
+#define DBFA_CAPABILITY(x) DBFA_THREAD_ANNOTATION_(capability(x))
+#define DBFA_SCOPED_CAPABILITY DBFA_THREAD_ANNOTATION_(scoped_lockable)
+#define DBFA_GUARDED_BY(x) DBFA_THREAD_ANNOTATION_(guarded_by(x))
+#define DBFA_PT_GUARDED_BY(x) DBFA_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define DBFA_ACQUIRE(...) \
+  DBFA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DBFA_TRY_ACQUIRE(...) \
+  DBFA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define DBFA_RELEASE(...) \
+  DBFA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define DBFA_REQUIRES(...) \
+  DBFA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define DBFA_EXCLUDES(...) DBFA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define DBFA_ASSERT_CAPABILITY(x) \
+  DBFA_THREAD_ANNOTATION_(assert_capability(x))
+#define DBFA_RETURN_CAPABILITY(x) DBFA_THREAD_ANNOTATION_(lock_returned(x))
+#define DBFA_NO_THREAD_SAFETY_ANALYSIS \
+  DBFA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace dbfa {
+
+class CondVar;
+
+/// A std::mutex carrying the Clang `capability` attribute, so guarded
+/// members can be declared with DBFA_GUARDED_BY(mu_) and functions with
+/// DBFA_REQUIRES(mu_).
+class DBFA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DBFA_ACQUIRE() { mu_.lock(); }
+  void Unlock() DBFA_RELEASE() { mu_.unlock(); }
+  bool TryLock() DBFA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (scoped capability): acquires in the constructor,
+/// releases in the destructor.
+class DBFA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DBFA_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() DBFA_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with dbfa::Mutex. Wait() must be called with
+/// the mutex held (enforced under Clang); it atomically releases the mutex
+/// while blocked and reacquires it before returning, exactly like
+/// std::condition_variable, so guarded state may be read on either side of
+/// the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) DBFA_REQUIRES(mu) {
+    // Adopt the already-held lock for the duration of the wait, then
+    // release ownership so the unique_lock destructor does not unlock a
+    // mutex the caller still holds.
+    std::unique_lock<std::mutex> held(mu->mu_, std::adopt_lock);
+    cv_.wait(held);
+    held.release();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_COMMON_MUTEX_H_

@@ -70,8 +70,7 @@ Status SpillFile::AppendBlock(std::string_view payload) {
   uint8_t header[8];
   WriteU32(header, static_cast<uint32_t>(payload.size()), /*big_endian=*/false);
   WriteU32(header + 4,
-           Crc32(ByteView(reinterpret_cast<const uint8_t*>(payload.data()),
-                          payload.size())),
+           Crc32(AsByteView(payload)),
            /*big_endian=*/false);
   if (std::fwrite(header, 1, sizeof(header), f_) != sizeof(header) ||
       (!payload.empty() &&
@@ -136,8 +135,7 @@ Result<bool> SpillFile::Reader::NextBlock(std::string* payload) {
     return Status::Corruption("spill block: truncated payload");
   }
   uint32_t actual_crc =
-      Crc32(ByteView(reinterpret_cast<const uint8_t*>(payload->data()),
-                     payload->size()));
+      Crc32(AsByteView(*payload));
   if (actual_crc != expected_crc) {
     return Status::Corruption(
         StrFormat("spill block: checksum mismatch (stored %08x, computed "
@@ -154,7 +152,7 @@ Result<bool> SpillFile::Reader::NextBlock(std::string* payload) {
 SpillManager::SpillManager(std::string root) : root_(std::move(root)) {}
 
 SpillManager::~SpillManager() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!dir_.empty()) {
     std::error_code ec;
     std::filesystem::remove_all(dir_, ec);  // backstop for leaked files
@@ -162,7 +160,6 @@ SpillManager::~SpillManager() {
 }
 
 Status SpillManager::EnsureDir() {
-  // Callers hold mu_.
   if (!dir_.empty()) return Status::Ok();
   std::error_code ec;
   std::filesystem::path root =
@@ -198,7 +195,7 @@ Status SpillManager::EnsureDir() {
 Result<SpillFile> SpillManager::CreateFile() {
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     DBFA_RETURN_IF_ERROR(EnsureDir());
     path = (std::filesystem::path(dir_) /
             StrFormat("run-%06llu.spill",
@@ -224,7 +221,7 @@ SpillStats SpillManager::stats() const {
 }
 
 std::string SpillManager::dir() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return dir_;
 }
 

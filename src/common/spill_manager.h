@@ -24,10 +24,10 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace dbfa {
@@ -127,12 +127,12 @@ class SpillManager {
   friend class SpillFile;
 
   /// Creates the unique spill directory on first use.
-  Status EnsureDir();
+  Status EnsureDir() DBFA_REQUIRES(mu_);
 
   std::string root_;
-  mutable std::mutex mu_;
-  std::string dir_;        // guarded by mu_
-  uint64_t next_id_ = 0;   // guarded by mu_
+  mutable Mutex mu_;
+  std::string dir_ DBFA_GUARDED_BY(mu_);
+  uint64_t next_id_ DBFA_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> files_created_{0};
   std::atomic<uint64_t> blocks_written_{0};
   std::atomic<uint64_t> bytes_written_{0};

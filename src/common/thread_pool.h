@@ -13,13 +13,13 @@
 #ifndef DBFA_COMMON_THREAD_POOL_H_
 #define DBFA_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace dbfa {
 
@@ -52,12 +52,13 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable task_cv_;  // signals workers: task ready / stop
-  std::condition_variable done_cv_;  // signals Wait(): queue drained
-  std::queue<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently running tasks
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar task_cv_;  // signals workers: task ready / stop
+  CondVar done_cv_;  // signals Wait(): queue drained
+  std::queue<std::function<void()>> queue_ DBFA_GUARDED_BY(mu_);
+  // Queued + currently running tasks.
+  size_t in_flight_ DBFA_GUARDED_BY(mu_) = 0;
+  bool stop_ DBFA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dbfa

@@ -415,14 +415,14 @@ Result<std::vector<UnloggedAccess>> DbDetective::FindUnloggedReads() const {
   return out;
 }
 
-Result<MetaQuerySession> DbDetective::MakeMetaQuerySession(
+Result<std::unique_ptr<MetaQuerySession>> DbDetective::MakeMetaQuerySession(
     std::vector<std::string>* skipped) const {
-  MetaQuerySession session(options_.metaquery);
+  auto session = std::make_unique<MetaQuerySession>(options_.metaquery);
   if (disk_ != nullptr) {
-    DBFA_RETURN_IF_ERROR(session.RegisterCarve(*disk_, "CarvDisk", skipped));
+    DBFA_RETURN_IF_ERROR(session->RegisterCarve(*disk_, "CarvDisk", skipped));
   }
   if (ram_ != nullptr) {
-    DBFA_RETURN_IF_ERROR(session.RegisterCarve(*ram_, "CarvRAM", skipped));
+    DBFA_RETURN_IF_ERROR(session->RegisterCarve(*ram_, "CarvRAM", skipped));
   }
   return session;
 }

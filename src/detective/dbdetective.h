@@ -15,6 +15,7 @@
 #ifndef DBFA_DETECTIVE_DBDETECTIVE_H_
 #define DBFA_DETECTIVE_DBDETECTIVE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -106,7 +107,9 @@ class DbDetective {
   /// inherits options().metaquery, including the out-of-core memory
   /// budget. Tables that could not be registered are reported through
   /// `skipped`.
-  Result<MetaQuerySession> MakeMetaQuerySession(
+  /// The session owns a worker-pool mutex and is therefore not movable;
+  /// it is returned behind a unique_ptr.
+  Result<std::unique_ptr<MetaQuerySession>> MakeMetaQuerySession(
       std::vector<std::string>* skipped = nullptr) const;
 
  private:

@@ -55,7 +55,10 @@ MetaQuerySession::MetaQuerySession(MetaQueryOptions options)
     : options_(options) {}
 
 void MetaQuerySession::set_options(const MetaQueryOptions& options) {
-  if (options.num_threads != options_.num_threads) pool_.reset();
+  if (options.num_threads != options_.num_threads) {
+    MutexLock lock(&pool_mu_);
+    pool_.reset();
+  }
   options_ = options;
 }
 
@@ -63,6 +66,7 @@ ThreadPool* MetaQuerySession::PoolForQuery() {
   size_t threads = options_.num_threads == 0 ? ThreadPool::HardwareThreads()
                                              : options_.num_threads;
   if (threads <= 1) return nullptr;
+  MutexLock lock(&pool_mu_);
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads);
   return pool_.get();
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/spill_manager.h"
 #include "common/thread_pool.h"
 #include "metaquery/relation.h"
@@ -104,7 +105,11 @@ class MetaQuerySession {
 
   MetaQueryOptions options_;
   SpillStats last_spill_stats_;
-  std::unique_ptr<ThreadPool> pool_;
+  /// Guards the lazily created worker pool. Pool creation races when
+  /// several threads issue this session's first parallel query; the
+  /// ThreadPool itself is thread-safe once published.
+  Mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_ DBFA_GUARDED_BY(pool_mu_);
   std::map<std::string, std::shared_ptr<Relation>> relations_;  // lower key
   std::map<std::string, std::string> display_names_;
 };

@@ -249,7 +249,7 @@ TEST(DetectiveTest, MakeMetaQuerySessionRunsBudgetedSql) {
                                   &*ram_carve);
   auto unlimited = unlimited_detective.MakeMetaQuerySession();
   ASSERT_TRUE(unlimited.ok()) << unlimited.status().ToString();
-  auto expected = unlimited->Query(query);
+  auto expected = (*unlimited)->Query(query);
   ASSERT_TRUE(expected.ok()) << expected.status().ToString();
   ASSERT_GT(expected->rows.size(), 0u);
 
@@ -260,7 +260,7 @@ TEST(DetectiveTest, MakeMetaQuerySessionRunsBudgetedSql) {
   auto session = detective.MakeMetaQuerySession();
   ASSERT_TRUE(session.ok()) << session.status().ToString();
   // Both snapshots are registered under Section II-C's naming.
-  std::vector<std::string> names = session->RelationNames();
+  std::vector<std::string> names = (*session)->RelationNames();
   bool disk_seen = false;
   bool ram_seen = false;
   for (const std::string& name : names) {
@@ -270,9 +270,9 @@ TEST(DetectiveTest, MakeMetaQuerySessionRunsBudgetedSql) {
   EXPECT_TRUE(disk_seen);
   EXPECT_TRUE(ram_seen);
 
-  auto actual = session->Query(query);
+  auto actual = (*session)->Query(query);
   ASSERT_TRUE(actual.ok()) << actual.status().ToString();
-  EXPECT_TRUE(session->last_spill_stats().spilled())
+  EXPECT_TRUE((*session)->last_spill_stats().spilled())
       << "a 1 KB budget over a 150-row carve must spill";
   ASSERT_EQ(expected->columns, actual->columns);
   ASSERT_EQ(expected->rows.size(), actual->rows.size());
@@ -286,7 +286,7 @@ TEST(DetectiveTest, MakeMetaQuerySessionRunsBudgetedSql) {
 
   // The cross-snapshot join from Section II-C's example also runs under
   // the budget.
-  auto joined = session->Query(
+  auto joined = (*session)->Query(
       "SELECT CarvDiskAccounts.Id FROM CarvDiskAccounts "
       "JOIN CarvRAMAccounts ON CarvDiskAccounts.Id = CarvRAMAccounts.Id "
       "ORDER BY CarvDiskAccounts.Id LIMIT 20");

@@ -49,7 +49,7 @@ std::shared_ptr<Relation> MakeFact(Rng* rng, size_t n, int64_t key_space) {
                     ? Value::Null()
                     : Value::Int(rng->Uniform(0, key_space - 1)));
     r.push_back(Value::Int(rng->Uniform(0, 7)));
-    r.push_back(Value::Real(0.25 * rng->Uniform(-200, 200)));
+    r.push_back(Value::Real(0.25 * static_cast<double>(rng->Uniform(-200, 200))));
     r.push_back(Value::Str(rng->Pick(pool) + std::string(16, '.')));
     rows.push_back(std::move(r));
   }
@@ -97,12 +97,12 @@ class FailingRelation : public Relation {
   size_t fail_after_;
 };
 
-MetaQuerySession MakeSession(const std::shared_ptr<Relation>& fact,
-                             const std::shared_ptr<Relation>& dim,
-                             MetaQueryOptions options) {
-  MetaQuerySession session(options);
-  session.Register("fact", fact);
-  session.Register("dim", dim);
+std::unique_ptr<MetaQuerySession> MakeSession(
+    const std::shared_ptr<Relation>& fact,
+    const std::shared_ptr<Relation>& dim, MetaQueryOptions options) {
+  auto session = std::make_unique<MetaQuerySession>(options);
+  session->Register("fact", fact);
+  session->Register("dim", dim);
   return session;
 }
 
@@ -121,7 +121,7 @@ TEST(MetaQuerySpillTest, BudgetFuzzMatchesUnlimited) {
 
   MetaQueryOptions unlimited;
   unlimited.num_threads = 2;
-  MetaQuerySession baseline = MakeSession(fact, dim, unlimited);
+  std::unique_ptr<MetaQuerySession> baseline = MakeSession(fact, dim, unlimited);
 
   std::vector<std::string> shapes = {
       "SELECT id, d, s FROM fact WHERE %s ORDER BY d DESC, id",
@@ -143,7 +143,7 @@ TEST(MetaQuerySpillTest, BudgetFuzzMatchesUnlimited) {
     // Log-uniform random budget: from "everything spills" to "nothing
     // spills".
     size_t budget = size_t{256} << rng.Uniform(0, 13);
-    auto expected = baseline.Query(query);
+    auto expected = baseline->Query(query);
     ASSERT_TRUE(expected.ok()) << query << ": "
                                << expected.status().ToString();
 
@@ -151,8 +151,8 @@ TEST(MetaQuerySpillTest, BudgetFuzzMatchesUnlimited) {
     options.num_threads = rng.Bernoulli(0.5) ? 1 : 4;
     options.batch_rows = rng.Bernoulli(0.5) ? 64 : 1024;
     options.memory_budget_bytes = budget;
-    MetaQuerySession spilled = MakeSession(fact, dim, options);
-    auto actual = spilled.Query(query);
+    std::unique_ptr<MetaQuerySession> spilled = MakeSession(fact, dim, options);
+    auto actual = spilled->Query(query);
     ASSERT_TRUE(actual.ok()) << query << ": " << actual.status().ToString();
     ExpectSameTable(*expected, *actual,
                     StrFormat("[budget=%zu threads=%zu batch=%zu] %s", budget,
@@ -173,21 +173,21 @@ TEST(MetaQuerySpillTest, JoinAndAggregationEightTimesOverBudget) {
       "GROUP BY label ORDER BY label";
 
   MetaQueryOptions unlimited;
-  MetaQuerySession baseline = MakeSession(fact, dim, unlimited);
-  auto expected = baseline.Query(query);
+  std::unique_ptr<MetaQuerySession> baseline = MakeSession(fact, dim, unlimited);
+  auto expected = baseline->Query(query);
   ASSERT_TRUE(expected.ok()) << expected.status().ToString();
 
   for (size_t threads : {1u, 8u}) {
     MetaQueryOptions options;
     options.num_threads = threads;
     options.memory_budget_bytes = 4096;
-    MetaQuerySession spilled = MakeSession(fact, dim, options);
-    auto actual = spilled.Query(query);
+    std::unique_ptr<MetaQuerySession> spilled = MakeSession(fact, dim, options);
+    auto actual = spilled->Query(query);
     ASSERT_TRUE(actual.ok()) << actual.status().ToString();
     ExpectSameTable(*expected, *actual,
                     StrFormat("threads=%zu", threads));
-    EXPECT_TRUE(spilled.last_spill_stats().spilled());
-    EXPECT_GT(spilled.last_spill_stats().bytes_written, 4096u);
+    EXPECT_TRUE(spilled->last_spill_stats().spilled());
+    EXPECT_GT(spilled->last_spill_stats().bytes_written, 4096u);
   }
 }
 
@@ -211,14 +211,14 @@ TEST(MetaQuerySpillTest, SkewedJoinKeyCannotBeSplit) {
       "SELECT fact.id, dim.w FROM fact JOIN dim ON fact.k = dim.k "
       "ORDER BY fact.id, dim.w LIMIT 1000";
 
-  MetaQuerySession baseline = MakeSession(fact, dim, {});
-  auto expected = baseline.Query(query);
+  std::unique_ptr<MetaQuerySession> baseline = MakeSession(fact, dim, {});
+  auto expected = baseline->Query(query);
   ASSERT_TRUE(expected.ok()) << expected.status().ToString();
 
   MetaQueryOptions options;
   options.memory_budget_bytes = 2048;
-  MetaQuerySession spilled = MakeSession(fact, dim, options);
-  auto actual = spilled.Query(query);
+  std::unique_ptr<MetaQuerySession> spilled = MakeSession(fact, dim, options);
+  auto actual = spilled->Query(query);
   ASSERT_TRUE(actual.ok()) << actual.status().ToString();
   ExpectSameTable(*expected, *actual, "skewed join");
 }
@@ -233,15 +233,15 @@ TEST(MetaQuerySpillTest, SingleGroupAggregationOverBudget) {
       "SELECT COUNT(*) AS n, SUM(d) AS sd, AVG(d) AS mean, MIN(id) AS lo "
       "FROM fact";
 
-  MetaQuerySession baseline = MakeSession(fact, dim, {});
-  auto expected = baseline.Query(query);
+  std::unique_ptr<MetaQuerySession> baseline = MakeSession(fact, dim, {});
+  auto expected = baseline->Query(query);
   ASSERT_TRUE(expected.ok());
 
   MetaQueryOptions options;
   options.memory_budget_bytes = 1024;
   options.batch_rows = 64;
-  MetaQuerySession spilled = MakeSession(fact, dim, options);
-  auto actual = spilled.Query(query);
+  std::unique_ptr<MetaQuerySession> spilled = MakeSession(fact, dim, options);
+  auto actual = spilled->Query(query);
   ASSERT_TRUE(actual.ok()) << actual.status().ToString();
   ExpectSameTable(*expected, *actual, "single group");
 }
@@ -253,22 +253,22 @@ TEST(MetaQuerySpillTest, SpillStatsReporting) {
 
   MetaQueryOptions options;
   options.memory_budget_bytes = 4096;
-  MetaQuerySession session = MakeSession(fact, dim, options);
-  ASSERT_TRUE(session.Query("SELECT id, d FROM fact ORDER BY d").ok());
-  EXPECT_TRUE(session.last_spill_stats().spilled());
+  std::unique_ptr<MetaQuerySession> session = MakeSession(fact, dim, options);
+  ASSERT_TRUE(session->Query("SELECT id, d FROM fact ORDER BY d").ok());
+  EXPECT_TRUE(session->last_spill_stats().spilled());
 
   // A generous budget must not touch disk at all...
   options.memory_budget_bytes = size_t{64} << 20;
-  session.set_options(options);
-  ASSERT_TRUE(session.Query("SELECT id, d FROM fact ORDER BY d").ok());
-  EXPECT_FALSE(session.last_spill_stats().spilled());
-  EXPECT_EQ(session.last_spill_stats().files_created, 0u);
+  session->set_options(options);
+  ASSERT_TRUE(session->Query("SELECT id, d FROM fact ORDER BY d").ok());
+  EXPECT_FALSE(session->last_spill_stats().spilled());
+  EXPECT_EQ(session->last_spill_stats().files_created, 0u);
 
   // ...and the in-memory engine always reports zeros.
   options.memory_budget_bytes = 0;
-  session.set_options(options);
-  ASSERT_TRUE(session.Query("SELECT id, d FROM fact ORDER BY d").ok());
-  EXPECT_FALSE(session.last_spill_stats().spilled());
+  session->set_options(options);
+  ASSERT_TRUE(session->Query("SELECT id, d FROM fact ORDER BY d").ok());
+  EXPECT_FALSE(session->last_spill_stats().spilled());
 }
 
 TEST(MetaQuerySpillTest, SpillDirEmptyAfterSuccess) {
@@ -281,12 +281,12 @@ TEST(MetaQuerySpillTest, SpillDirEmptyAfterSuccess) {
   MetaQueryOptions options;
   options.memory_budget_bytes = 4096;
   options.spill_dir = spill_root;
-  MetaQuerySession session = MakeSession(fact, dim, options);
-  auto result = session.Query(
+  std::unique_ptr<MetaQuerySession> session = MakeSession(fact, dim, options);
+  auto result = session->Query(
       "SELECT label, COUNT(*) AS n FROM fact JOIN dim ON fact.k = dim.k "
       "GROUP BY label ORDER BY n DESC, label");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_TRUE(session.last_spill_stats().spilled());
+  EXPECT_TRUE(session->last_spill_stats().spilled());
   EXPECT_EQ(DirEntries(spill_root), 0u)
       << "spill files survived a successful query";
 }
@@ -328,13 +328,13 @@ TEST(MetaQuerySpillTest, ErrorParityWithInMemoryEngine) {
       "SELECT fact.id FROM fact JOIN dim ON fact.zz = dim.qq",
       "SELECT id FROM missing_table",
   };
-  MetaQuerySession baseline = MakeSession(fact, dim, {});
+  std::unique_ptr<MetaQuerySession> baseline = MakeSession(fact, dim, {});
   MetaQueryOptions options;
   options.memory_budget_bytes = 4096;
-  MetaQuerySession spilled = MakeSession(fact, dim, options);
+  std::unique_ptr<MetaQuerySession> spilled = MakeSession(fact, dim, options);
   for (const std::string& query : bad_queries) {
-    auto expected = baseline.Query(query);
-    auto actual = spilled.Query(query);
+    auto expected = baseline->Query(query);
+    auto actual = spilled->Query(query);
     ASSERT_FALSE(expected.ok()) << query;
     ASSERT_FALSE(actual.ok()) << query;
     EXPECT_EQ(expected.status().ToString(), actual.status().ToString())
