@@ -146,8 +146,8 @@ Result<WipeReport> Wiper::WipeDatabase(Database* db) const {
   size_t offset = 0;
   for (auto [object_id, size] : extents) {
     StorageFile* file = db->pager().file(object_id);
-    std::memcpy(file->mutable_bytes().data(), combined.data() + offset,
-                size);
+    CopyBytes(file->mutable_bytes().data(), combined.data() + offset,
+              size);
     offset += size;
   }
   DBFA_RETURN_IF_ERROR(db->pager().pool().Clear());

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dbfa {
@@ -145,6 +146,29 @@ size_t VarintLength(uint64_t v);
 inline void AppendBytes(Bytes* out, const void* data, size_t n) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
   out->insert(out->end(), p, p + n);
+}
+
+// -- Audited type-punning accessors ----------------------------------------
+// All byte<->char reinterpretation and raw block copies in dbfa go through
+// these three functions; dbfa_lint's raw-byte-read rule flags any other
+// reinterpret_cast/memcpy outside the allowlisted codec files (see
+// tools/dbfa_lint/allowlist.txt). Keeping the punning in one place keeps
+// every carve of hostile input inside bounds-checked, reviewable code.
+
+/// Views character data (std::string, std::string_view) as raw bytes.
+inline ByteView AsByteView(std::string_view s) {
+  return ByteView(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+/// Views raw bytes as character data, e.g. to append to a std::string.
+inline std::string_view AsStringView(ByteView v) {
+  return std::string_view(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+/// Copies `n` raw bytes between non-overlapping buffers. Callers guarantee
+/// bounds; prefer the checked TryRead* codecs when parsing hostile input.
+inline void CopyBytes(void* dst, const void* src, size_t n) {
+  if (n != 0) std::memcpy(dst, src, n);
 }
 
 }  // namespace dbfa

@@ -29,7 +29,12 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the success case.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status loses an error on the floor,
+/// which for evidence-handling code is a correctness bug. Call sites that
+/// genuinely cannot act on a failure make the decision explicit with a
+/// (void) cast and a justifying comment (dbfa_lint flags bare casts).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -82,7 +87,7 @@ class Status {
 /// Holds either a value of type T or an error Status. Analogous to
 /// absl::StatusOr. Accessing value() on an error aborts in debug builds.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or a Status keeps call sites terse:
   ///   Result<int> F() { if (bad) return Status::NotFound("x"); return 42; }
@@ -119,11 +124,14 @@ class Result {
 
 }  // namespace dbfa
 
-/// Propagates an error Status from a Status-returning expression.
-#define DBFA_RETURN_IF_ERROR(expr)                \
-  do {                                            \
-    ::dbfa::Status dbfa_status_tmp_ = (expr);     \
-    if (!dbfa_status_tmp_.ok()) return dbfa_status_tmp_; \
+/// Propagates an error Status from a Status-returning expression. The
+/// temporary's name is line-unique so nested expansions do not shadow each
+/// other (-Wshadow-clean).
+#define DBFA_RETURN_IF_ERROR(expr)                                        \
+  do {                                                                    \
+    ::dbfa::Status DBFA_STATUS_CONCAT_(dbfa_status_, __LINE__) = (expr);  \
+    if (!DBFA_STATUS_CONCAT_(dbfa_status_, __LINE__).ok())                \
+      return DBFA_STATUS_CONCAT_(dbfa_status_, __LINE__);                 \
   } while (0)
 
 /// Evaluates a Result<T>-returning expression; on success binds the value to

@@ -12,17 +12,14 @@ Status EvidencePackage::SaveTo(const std::string& dir) const {
   std::string manifest_text = Join(manifest, "\n") + "\n";
   DBFA_RETURN_IF_ERROR(SaveImage(
       dir + "/manifest.txt",
-      ByteView(reinterpret_cast<const uint8_t*>(manifest_text.data()),
-               manifest_text.size())));
+      AsByteView(manifest_text)));
   DBFA_RETURN_IF_ERROR(SaveImage(
       dir + "/carver.conf",
-      ByteView(reinterpret_cast<const uint8_t*>(config_text.data()),
-               config_text.size())));
+      AsByteView(config_text)));
   std::string findings_text = Join(claimed, "\n") + "\n";
   return SaveImage(
       dir + "/findings.txt",
-      ByteView(reinterpret_cast<const uint8_t*>(findings_text.data()),
-               findings_text.size()));
+      AsByteView(findings_text));
 }
 
 Result<EvidencePackage> EvidencePackage::LoadFrom(const std::string& dir) {

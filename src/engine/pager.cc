@@ -76,7 +76,7 @@ Status Pager::ReadPage(PageKey key, uint8_t* out) {
     return Status::NotFound(StrFormat("read of missing page %u/%u",
                                       key.object_id, key.page_id));
   }
-  std::memcpy(out, f->PageData(key.page_id), params().page_size);
+  CopyBytes(out, f->PageData(key.page_id), params().page_size);
   return Status::Ok();
 }
 
@@ -86,7 +86,7 @@ Status Pager::WritePage(PageKey key, const uint8_t* data) {
     return Status::NotFound(StrFormat("write of missing page %u/%u",
                                       key.object_id, key.page_id));
   }
-  std::memcpy(f->PageData(key.page_id), data, params().page_size);
+  CopyBytes(f->PageData(key.page_id), data, params().page_size);
   return Status::Ok();
 }
 

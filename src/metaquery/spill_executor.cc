@@ -130,7 +130,7 @@ class RunWriter {
   Status AddTagged(uint64_t seq, const Record& r) {
     uint8_t buf[8];
     WriteU64(buf, seq, /*big_endian=*/false);
-    pending_.append(reinterpret_cast<const char*>(buf), sizeof(buf));
+    pending_.append(AsStringView(ByteView(buf, sizeof(buf))));
     sql::AppendRecord(r, &pending_);
     ++entries_;
     return MaybeFlush();
@@ -181,8 +181,7 @@ class RunReader {
       if (block_.size() - pos_ < 8) {
         return Status::Corruption("spill run: truncated sequence tag");
       }
-      *seq = ReadU64(reinterpret_cast<const uint8_t*>(block_.data()) + pos_,
-                     /*big_endian=*/false);
+      *seq = ReadU64(AsByteView(block_).data() + pos_, /*big_endian=*/false);
       pos_ += 8;
     }
     DBFA_RETURN_IF_ERROR(sql::DecodeRecord(block_, &pos_, row));
@@ -673,6 +672,7 @@ Status EmitPartitionGroups(const sql::SelectStmt& stmt, const AggPlan& plan,
                            GroupRows* out, KeyError* emit_err) {
   std::vector<std::pair<const Record*, AggGroup*>> ordered;
   ordered.reserve(groups->size());
+  // dbfa-lint: allow(unordered-iter): feeds the CompareRecords sort below.
   for (auto& [key, g] : *groups) ordered.push_back({&key, &g});
   std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
     return CompareRecords(*a.first, *b.first) < 0;

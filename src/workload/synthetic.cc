@@ -151,7 +151,7 @@ Status TamperOverwriteField(Database* db, const std::string& table,
     // Preserve the delete mark the original carried (byte-identical swap
     // except for the field) by copying the whole re-encoded record: the
     // original is active in all tampering scenarios.
-    std::memcpy(page + rec.offset, encoded.data(), encoded.size());
+    CopyBytes(page + rec.offset, encoded.data(), encoded.size());
     if (fix_checksum) fmt.UpdateChecksum(page);
     return Status::Ok();
   });
