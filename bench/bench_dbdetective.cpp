@@ -113,12 +113,13 @@ Accuracy RunScenario(int attack_deletes, int post_ops,
   }
   Accuracy acc;
   acc.flagged = deletions_flagged;
-  acc.recall = attacked.empty()
-                   ? 1.0
-                   : static_cast<double>(true_hits) / attacked.size();
+  acc.recall = attacked.empty() ? 1.0
+                                : static_cast<double>(true_hits) /
+                                      static_cast<double>(attacked.size());
   acc.precision = deletions_flagged == 0
                       ? 1.0
-                      : static_cast<double>(true_hits) / deletions_flagged;
+                      : static_cast<double>(true_hits) /
+                            static_cast<double>(deletions_flagged);
   return acc;
 }
 

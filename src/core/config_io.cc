@@ -104,6 +104,16 @@ std::string ConfigToText(const CarverConfig& config) {
   return out;
 }
 
+// GCC 12's -Wmaybe-uninitialized misfires on the Result<std::string>
+// returned by the `get` lambda below: it models the moved-from
+// std::optional's string storage as possibly-uninitialized even though
+// Result's value is only read after ok(). Clang and clang-tidy check this
+// function with no suppression.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 Result<CarverConfig> ConfigFromText(const std::string& text) {
   std::map<std::string, std::string> kv;
   for (const std::string& raw_line : Split(text, '\n')) {
@@ -248,6 +258,10 @@ Result<CarverConfig> ConfigFromText(const std::string& text) {
   DBFA_RETURN_IF_ERROR(p.Validate());
   return config;
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 Status SaveConfig(const std::string& path, const CarverConfig& config) {
   FILE* f = std::fopen(path.c_str(), "w");

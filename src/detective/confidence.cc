@@ -42,8 +42,9 @@ ConfidenceReport EstimateDetectionConfidence(const CarveResult& disk,
   // at least one delete-marked record; a large shortfall means residue was
   // reclaimed and unlogged deletions may be invisible too.
   if (logged_mutations > 0) {
-    double ratio = std::min(
-        1.0, static_cast<double>(deleted_found) / logged_mutations);
+    double ratio =
+        std::min(1.0, static_cast<double>(deleted_found) /
+                          static_cast<double>(logged_mutations));
     // Soften: predicates matching zero rows legitimately leave nothing.
     double factor = 0.4 + 0.6 * ratio;
     report.score *= factor;
@@ -65,7 +66,8 @@ ConfidenceReport EstimateDetectionConfidence(const CarveResult& disk,
 
   // Factor 3: corrupt pages may hide artifacts.
   if (bad_checksums > 0 && !disk.pages.empty()) {
-    double damaged = static_cast<double>(bad_checksums) / disk.pages.size();
+    double damaged = static_cast<double>(bad_checksums) /
+                     static_cast<double>(disk.pages.size());
     double factor = std::max(0.3, 1.0 - damaged);
     report.score *= factor;
     report.factors.push_back(StrFormat(
@@ -76,7 +78,8 @@ ConfidenceReport EstimateDetectionConfidence(const CarveResult& disk,
   // Factor 4: churn pressure — many mutations per data page shorten the
   // expected evidence lifetime (Section III-D's "volume of operations").
   if (data_pages > 0 && logged_mutations > 0) {
-    double churn = static_cast<double>(logged_mutations) / data_pages;
+    double churn = static_cast<double>(logged_mutations) /
+                   static_cast<double>(data_pages);
     if (churn > 20.0) {
       double factor = std::max(0.5, 20.0 / churn);
       report.score *= factor;

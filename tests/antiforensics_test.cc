@@ -82,8 +82,8 @@ TEST_P(WiperDialectTest, WipesAllFourCategories) {
 INSTANTIATE_TEST_SUITE_P(
     AllDialects, WiperDialectTest,
     ::testing::ValuesIn(BuiltinDialectNames()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 TEST(SteganographyTest, Figure3ScenarioOnSsbm) {

@@ -116,8 +116,8 @@ TEST_P(AuditorDialectTest, DetectsAllThreeTamperKinds) {
 INSTANTIATE_TEST_SUITE_P(
     AllDialects, AuditorDialectTest,
     ::testing::ValuesIn(BuiltinDialectNames()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 TEST(AuditorTest, SortedAndNaiveMatchersAgree) {

@@ -202,8 +202,8 @@ TEST_P(BTreeTest, RebuildEmptyHeapYieldsEmptyRoot) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllDialects, BTreeTest, ::testing::ValuesIn(BuiltinDialectNames()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 }  // namespace

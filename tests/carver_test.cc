@@ -212,8 +212,8 @@ TEST_P(CarverDialectTest, CorruptedPagesAreFlaggedAndSurvivorsRecovered) {
 INSTANTIATE_TEST_SUITE_P(
     AllDialects, CarverDialectTest,
     ::testing::ValuesIn(BuiltinDialectNames()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 TEST(CarverTest, MultiDialectImageSeparatesDbmses) {

@@ -92,8 +92,8 @@ TEST_P(DatabaseDialectTest, UpdateLeavesPreImage) {
 INSTANTIATE_TEST_SUITE_P(
     AllDialects, DatabaseDialectTest,
     ::testing::ValuesIn(BuiltinDialectNames()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 TEST(DatabaseTest, SelectFullScanAndProjection) {

@@ -156,8 +156,8 @@ TEST_P(PageBuilderDialectTest, BuiltFileAttachesAndQueriesCorrectly) {
 INSTANTIATE_TEST_SUITE_P(
     AllDialects, PageBuilderDialectTest,
     ::testing::ValuesIn(BuiltinDialectNames()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 TEST(PageBuilderTest, RejectsBadInput) {

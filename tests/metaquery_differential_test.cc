@@ -57,7 +57,7 @@ std::shared_ptr<Relation> MakeT1(Rng* rng, size_t n) {
                                      : Value::Int(rng->Uniform(0, 4)));
     r.push_back(rng->Bernoulli(0.1)
                     ? Value::Null()
-                    : Value::Real(0.25 * rng->Uniform(-40, 40)));
+                    : Value::Real(0.25 * static_cast<double>(rng->Uniform(-40, 40))));
     r.push_back(Value::Str(rng->Pick(pool)));
     rows.push_back(std::move(r));
   }

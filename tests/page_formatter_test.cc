@@ -338,8 +338,8 @@ TEST_P(PageFormatterTest, UntypedDecodeRecoversShapes) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllDialects, PageFormatterTest, ::testing::ValuesIn(BuiltinDialectNames()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 TEST(DialectRegistryTest, AllBuiltinsValidateAndAreDistinct) {

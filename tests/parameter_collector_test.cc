@@ -68,8 +68,8 @@ TEST_P(CollectorDialectTest, CollectedConfigDrivesACorrectCarve) {
 INSTANTIATE_TEST_SUITE_P(
     AllDialects, CollectorDialectTest,
     ::testing::ValuesIn(BuiltinDialectNames()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 TEST(ConfigIoTest, TextRoundTripForAllDialects) {

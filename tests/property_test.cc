@@ -100,8 +100,8 @@ TEST_P(RecordRoundTripProperty, RandomRecordsEncodeDecodeExactly) {
 INSTANTIATE_TEST_SUITE_P(
     AllDialects, RecordRoundTripProperty,
     ::testing::ValuesIn(BuiltinDialectNames()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 // ---- Property 2: engine vs reference model, then carve consistency --------
@@ -202,8 +202,8 @@ TEST_P(EngineModelProperty, RandomOpsMatchReferenceModelAndCarve) {
 INSTANTIATE_TEST_SUITE_P(
     AllDialects, EngineModelProperty,
     ::testing::ValuesIn(BuiltinDialectNames()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 // ---- Property 3: carver never crashes and stays sane on corrupted input ---
@@ -252,8 +252,8 @@ TEST_P(CorruptionProperty, RandomCorruptionNeverBreaksInvariants) {
 INSTANTIATE_TEST_SUITE_P(
     AllDialects, CorruptionProperty,
     ::testing::ValuesIn(BuiltinDialectNames()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 // ---- Property 4: SQL expression parser round-trip under random ASTs -------
