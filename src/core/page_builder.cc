@@ -34,6 +34,9 @@ Result<Bytes> ExternalPageBuilder::BuildTableFile(
       // Chain a fresh page. start_page() may reallocate `file`, so link
       // afterwards through recomputed pointers.
       uint32_t full_page_id = fmt_.PageId(page);
+      // dbfa-lint: allow(nodiscard-status): returns a page pointer, not a
+      // Status; discarded because resize() may move `file`, so both page
+      // pointers are recomputed from file.data() below.
       (void)start_page();
       uint32_t new_page_id =
           static_cast<uint32_t>(file.size() / page_size);

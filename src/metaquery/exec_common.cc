@@ -298,6 +298,9 @@ Status AggregateRowsInMemory(const sql::SelectStmt& stmt, const AggPlan& plan,
 
   GroupMap groups;
   for (GroupMap& partial : partials) {
+    // dbfa-lint: allow(unordered-iter): per-key merge is commutative and
+    // associative (Accumulator::Merge), and partials are visited in batch
+    // order via the outer vector — hash order cannot reach the output.
     for (auto& [key, part] : partial) {
       auto [it, inserted] = groups.try_emplace(key);
       if (inserted) {
@@ -321,6 +324,7 @@ Status AggregateRowsInMemory(const sql::SelectStmt& stmt, const AggPlan& plan,
   // map produces.
   std::vector<std::pair<const Record*, Partial*>> ordered;
   ordered.reserve(groups.size());
+  // dbfa-lint: allow(unordered-iter): feeds the CompareRecords sort below.
   for (auto& [key, part] : groups) ordered.push_back({&key, &part});
   std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
     return CompareRecords(*a.first, *b.first) < 0;

@@ -1,0 +1,19 @@
+// dbfa-lint-fixture: path=src/engine/fake.cc rule=nodiscard-status expect=1
+// Known-bad input for dbfa_lint --self-test: a (void)-discarded call result
+// without a justification comment must be flagged. Never compiled.
+#include "common/status.h"
+
+namespace dbfa {
+
+Status MightFail();
+
+void Caller() {
+  // BAD: silently drops the error.
+  (void)MightFail();
+
+  // OK: plain unused-parameter-style casts carry no call and are legal.
+  int unused = 0;
+  (void)unused;
+}
+
+}  // namespace dbfa

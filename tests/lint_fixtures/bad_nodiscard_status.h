@@ -1,0 +1,28 @@
+// dbfa-lint-fixture: path=src/common/status.h rule=nodiscard-status expect=2
+// Known-bad input for dbfa_lint --self-test: a status.h whose Status and
+// Result classes lost their [[nodiscard]] annotation. Never compiled.
+#ifndef DBFA_LINT_FIXTURE_BAD_STATUS_H_
+#define DBFA_LINT_FIXTURE_BAD_STATUS_H_
+
+namespace dbfa {
+
+class Status {  // BAD: must be `class [[nodiscard]] Status`.
+ public:
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+};
+
+template <typename T>
+class Result {  // BAD: must be `class [[nodiscard]] Result`.
+ public:
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_LINT_FIXTURE_BAD_STATUS_H_

@@ -1,0 +1,24 @@
+// dbfa-lint-fixture: path=src/core/fake.cc rule=naked-rand-time expect=3
+// Known-bad input for dbfa_lint --self-test: libc randomness/wall-clock
+// calls break run reproducibility and must be flagged. Never compiled.
+#include <cstdlib>
+#include <ctime>
+
+namespace dbfa {
+
+struct Clock {
+  long time(int channel) { return channel; }
+};
+
+long Jitter() {
+  srand(42);                   // BAD: use the seeded dbfa::Rng.
+  int r = rand();              // BAD
+  long now = ::time(nullptr);  // BAD: wall clock in a deterministic run.
+
+  // OK: a method named time() taking a real argument is not libc time().
+  Clock clock;
+  long c = clock.time(3);
+  return r + now + c;
+}
+
+}  // namespace dbfa

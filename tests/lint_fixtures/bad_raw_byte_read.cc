@@ -1,0 +1,23 @@
+// dbfa-lint-fixture: path=src/engine/fake.cc rule=raw-byte-read expect=2
+// Known-bad input for dbfa_lint --self-test: raw type punning outside the
+// audited accessors must be flagged. Never compiled.
+#include <cstdint>
+#include <cstring>
+
+namespace dbfa {
+
+uint32_t ReadHeaderMagic(const char* page) {
+  // BAD: unaudited reinterpret_cast over carved input.
+  return *reinterpret_cast<const uint32_t*>(page);
+}
+
+void CopyPayload(char* dst, const char* src) {
+  // BAD: raw memcpy instead of CopyBytes().
+  std::memcpy(dst, src, 16);
+}
+
+// The string "reinterpret_cast" and a comment mentioning memcpy must NOT
+// count: the linter strips comments and literals before matching.
+const char* kDoc = "reinterpret_cast is documented here";
+
+}  // namespace dbfa

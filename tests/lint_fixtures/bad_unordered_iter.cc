@@ -1,0 +1,32 @@
+// dbfa-lint-fixture: path=src/metaquery/fake.cc rule=unordered-iter expect=2
+// Known-bad input for dbfa_lint --self-test: hash-order iteration in
+// determinism-critical code must be flagged. Never compiled.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dbfa {
+
+using GroupMap = std::unordered_map<std::string, int>;
+
+void EmitGroups(std::vector<std::string>* out) {
+  std::unordered_map<std::string, int> counts;
+  GroupMap groups;
+
+  // BAD: hash order reaches the output directly.
+  for (const auto& [key, n] : counts) {
+    out->push_back(key + ":" + std::to_string(n));
+  }
+
+  // BAD: aliases of unordered containers are tracked too.
+  for (const auto& [key, n] : groups) {
+    out->push_back(key);
+  }
+
+  // OK: iterating the (ordered) vector we just built.
+  for (const auto& line : *out) {
+    (void)line.size();
+  }
+}
+
+}  // namespace dbfa

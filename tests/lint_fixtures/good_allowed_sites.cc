@@ -1,0 +1,30 @@
+// dbfa-lint-fixture: path=src/metaquery/fake_ok.cc rule=unordered-iter expect=0
+// Known-good input for dbfa_lint --self-test: every pattern the linter
+// hunts for appears here with a valid suppression, so the file must lint
+// clean. Never compiled.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbfa {
+
+Status MightFail();
+
+void MergeGroups(std::vector<std::pair<std::string, int>>* out) {
+  std::unordered_map<std::string, int> groups;
+
+  // Order-insensitive: results are sorted before anything is emitted.
+  // dbfa-lint: allow(unordered-iter): drained into `out`, sorted below
+  for (const auto& [key, n] : groups) {
+    out->emplace_back(key, n);
+  }
+  std::sort(out->begin(), out->end());
+
+  // dbfa-lint: allow(nodiscard-status): best-effort cleanup on shutdown
+  (void)MightFail();
+}
+
+}  // namespace dbfa

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party translation unit in compile_commands.json, in parallel, and
+# fails on any finding — the zero-warning gate CI's static-analysis job
+# enforces.
+#
+# Usage: tools/run_clang_tidy.sh [BUILD_DIR] [REPORT_FILE]
+#   BUILD_DIR    build tree configured with CMAKE_EXPORT_COMPILE_COMMANDS
+#                (the default for this project); default: build
+#   REPORT_FILE  where the full tidy output is written; default:
+#                BUILD_DIR/clang-tidy-report.txt (uploaded as a CI artifact)
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+REPORT="${2:-$BUILD_DIR/clang-tidy-report.txt}"
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "error: $BUILD_DIR/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B $BUILD_DIR -S $ROOT" >&2
+  exit 2
+fi
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "error: $TIDY not found (set CLANG_TIDY to the binary to use)." >&2
+  exit 2
+fi
+
+# First-party TUs only: third-party headers are excluded by
+# HeaderFilterRegex, third-party sources by this list.
+mapfile -t FILES < <(
+  python3 - "$BUILD_DIR/compile_commands.json" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if any(part in f for part in ("/src/", "/tools/", "/bench/")):
+        print(f)
+EOF
+)
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "error: no first-party files found in compile_commands.json" >&2
+  exit 2
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+echo "clang-tidy over ${#FILES[@]} files ($JOBS jobs), report: $REPORT"
+
+printf '%s\0' "${FILES[@]}" |
+  xargs -0 -n 1 -P "$JOBS" "$TIDY" -p "$BUILD_DIR" --quiet 2>/dev/null \
+  | tee "$REPORT"
+
+# xargs exit status is non-zero if any invocation failed; findings also
+# show up as "warning:"/"error:" lines in the report.
+if grep -qE '(warning|error):' "$REPORT"; then
+  echo "clang-tidy: findings detected (see $REPORT)" >&2
+  exit 1
+fi
+echo "clang-tidy: clean"
