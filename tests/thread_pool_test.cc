@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <numeric>
 #include <vector>
 
@@ -76,6 +77,59 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
     // No Wait(): destruction must still run everything already queued.
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroThreadConstructionFallsBackToHardware) {
+  // num_threads == 0 is the "size for this machine" request, never an
+  // inert pool: work submitted to it must still run.
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.thread_count(), ThreadPool::HardwareThreads());
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitFollowUpTasks) {
+  // Re-entrant Submit from inside a running task: the chained task bumps
+  // in_flight_ before its parent finishes, so Wait() cannot wake early.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::function<void(int)> chain = [&](int depth) {
+    counter.fetch_add(1);
+    if (depth > 0) pool.Submit([&chain, depth] { chain(depth - 1); });
+  };
+  pool.Submit([&chain] { chain(9); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, SubmitDuringDestructorDrainStillRuns) {
+  // Enqueue-after-shutdown contract: once the destructor has set stop_,
+  // the only legal Submit caller is a task already running (the single
+  // orchestrating thread is inside ~ThreadPool). Such tasks ARE executed:
+  // the submitting worker re-checks the queue after finishing its task
+  // and drains chained work before joining, even if every other worker
+  // has already exited.
+  std::atomic<int> counter{0};
+  // Declared before the pool so it outlives the destructor's drain (the
+  // chained tasks still call it while ~ThreadPool joins the workers).
+  std::function<void(int)> chain;
+  {
+    ThreadPool pool(2);
+    chain = [&counter, &pool, &chain](int depth) {
+      counter.fetch_add(1);
+      if (depth > 0) pool.Submit([&chain, depth] { chain(depth - 1); });
+    };
+    for (int i = 0; i < 4; ++i) {
+      pool.Submit([&chain] { chain(24); });
+    }
+    // No Wait(): destruction races the chains and must drain them all.
+  }
+  EXPECT_EQ(counter.load(), 4 * 25);
 }
 
 TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
