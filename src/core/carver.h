@@ -91,6 +91,7 @@ class Carver {
                       std::vector<CarvedIndexEntry>* out) const;
 
   friend class ParallelCarver;  // reuses the probe + content helpers
+  friend class SnapshotRepo;    // store-accelerated detection + per-page decode
 
   CarverConfig config_;
   PageFormatter fmt_;

@@ -1,11 +1,23 @@
 #include "detective/evidence.h"
 
+#include <charconv>
 #include <set>
 
 #include "common/strings.h"
 #include "storage/disk_image.h"
 
 namespace dbfa {
+namespace {
+
+/// Strict full-field numeric parse for manifest fields (no leading signs,
+/// no trailing junk, no silent truncation).
+bool ParseField(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
 
 Status EvidencePackage::SaveTo(const std::string& dir) const {
   DBFA_RETURN_IF_ERROR(SaveImage(dir + "/evidence.img", image));
@@ -25,15 +37,58 @@ Status EvidencePackage::SaveTo(const std::string& dir) const {
 Result<EvidencePackage> EvidencePackage::LoadFrom(const std::string& dir) {
   EvidencePackage package;
   DBFA_ASSIGN_OR_RETURN(package.image, LoadImage(dir + "/evidence.img"));
+
+  // The config is authoritative for the page size, so validate it first —
+  // everything else is checked against it. A package is evidence handed
+  // across trust boundaries; nothing here may crash or silently misparse.
+  DBFA_ASSIGN_OR_RETURN(Bytes config_bytes, LoadImage(dir + "/carver.conf"));
+  package.config_text.assign(config_bytes.begin(), config_bytes.end());
+  DBFA_ASSIGN_OR_RETURN(CarverConfig config,
+                        ConfigFromText(package.config_text));
+  size_t page_size = config.params.page_size;
+  if (package.image.empty()) {
+    return Status::Corruption("evidence package: evidence.img is empty");
+  }
+  if (package.image.size() % page_size != 0) {
+    return Status::Corruption(StrFormat(
+        "evidence package: evidence.img is %zu bytes, not a multiple of the "
+        "config page size %zu (truncated image or page-size mismatch)",
+        package.image.size(), page_size));
+  }
+
   DBFA_ASSIGN_OR_RETURN(Bytes manifest_bytes,
                         LoadImage(dir + "/manifest.txt"));
   for (const std::string& line :
        Split(std::string(manifest_bytes.begin(), manifest_bytes.end()),
              '\n')) {
-    if (!Trim(line).empty()) package.manifest.push_back(line);
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    // Each line must be exactly "object_id page_id original_offset".
+    std::vector<std::string> fields;
+    for (const std::string& f : Split(std::string(trimmed), ' ')) {
+      if (!f.empty()) fields.push_back(f);
+    }
+    uint64_t object_id = 0;
+    uint64_t page_id = 0;
+    uint64_t original_offset = 0;
+    if (fields.size() != 3 || !ParseField(fields[0], &object_id) ||
+        !ParseField(fields[1], &page_id) ||
+        !ParseField(fields[2], &original_offset) || object_id == 0 ||
+        object_id > 0xFFFFFFFFull || page_id == 0 ||
+        page_id > 0xFFFFFFFFull) {
+      return Status::Corruption(
+          "evidence package: malformed manifest.txt line: " +
+          std::string(trimmed));
+    }
+    package.manifest.push_back(line);
   }
-  DBFA_ASSIGN_OR_RETURN(Bytes config_bytes, LoadImage(dir + "/carver.conf"));
-  package.config_text.assign(config_bytes.begin(), config_bytes.end());
+  if (package.manifest.size() != package.image.size() / page_size) {
+    return Status::Corruption(StrFormat(
+        "evidence package: manifest.txt lists %zu pages but evidence.img "
+        "holds %zu",
+        package.manifest.size(), package.image.size() / page_size));
+  }
+
   DBFA_ASSIGN_OR_RETURN(Bytes findings_bytes,
                         LoadImage(dir + "/findings.txt"));
   for (const std::string& line :

@@ -7,12 +7,14 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/artifacts.h"
 #include "engine/database.h"
+#include "sql/row_codec.h"
 
 namespace dbfa {
 
@@ -23,13 +25,23 @@ class Relation {
   virtual const std::vector<std::string>& columns() const = 0;
   virtual Status Scan(
       const std::function<Status(const Record&)>& fn) const = 0;
+
+  /// Deterministic estimate of the relation's materialized row footprint,
+  /// used by MetaQueryOptions spill_policy kAuto to size a query's working
+  /// set. nullopt means unknown (e.g. live tables, whose rows are read at
+  /// scan time); kAuto treats unknown as over-budget and spills.
+  virtual std::optional<size_t> EstimatedBytes() const { return std::nullopt; }
 };
 
 /// Materialized relation.
 class VectorRelation : public Relation {
  public:
   VectorRelation(std::vector<std::string> columns, std::vector<Record> rows)
-      : columns_(std::move(columns)), rows_(std::move(rows)) {}
+      : columns_(std::move(columns)), rows_(std::move(rows)) {
+    for (const Record& r : rows_) {
+      estimated_bytes_ += sql::EstimateRecordMemoryBytes(r);
+    }
+  }
 
   const std::vector<std::string>& columns() const override {
     return columns_;
@@ -41,10 +53,14 @@ class VectorRelation : public Relation {
     return Status::Ok();
   }
   const std::vector<Record>& rows() const { return rows_; }
+  std::optional<size_t> EstimatedBytes() const override {
+    return estimated_bytes_;
+  }
 
  private:
   std::vector<std::string> columns_;
   std::vector<Record> rows_;
+  size_t estimated_bytes_ = 0;
 };
 
 /// Pseudo-columns appended to every carved relation, after the table's own

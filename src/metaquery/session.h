@@ -38,6 +38,23 @@ struct QueryTable {
   std::string ToText(size_t max_rows = 50) const;
 };
 
+/// When a nonzero memory budget routes queries to the out-of-core engine.
+enum class SpillPolicy {
+  /// Any nonzero memory_budget_bytes runs the spill engine (the original
+  /// behavior; budget == 0 always stays in memory).
+  kAlways,
+  /// Never spill; the budget only documents intent. Queries run on the
+  /// in-memory batched engine regardless of size.
+  kNever,
+  /// Spill only when the query's estimated working set — the summed
+  /// Relation::EstimatedBytes() of every referenced relation, doubled for
+  /// intermediates — exceeds memory_budget_bytes. Relations that cannot
+  /// estimate (live tables) count as over-budget, so kAuto errs toward
+  /// spilling. Results are bit-identical either way (docs/spilling.md);
+  /// only the execution strategy changes.
+  kAuto,
+};
+
 /// Execution knobs for MetaQuerySession.
 struct MetaQueryOptions {
   /// Worker threads for batched execution: 1 runs inline on the calling
@@ -59,6 +76,8 @@ struct MetaQueryOptions {
   /// Directory spill files are created under (a unique per-query
   /// subdirectory is always used). Empty means the system temp directory.
   std::string spill_dir;
+  /// How memory_budget_bytes engages the out-of-core engine.
+  SpillPolicy spill_policy = SpillPolicy::kAlways;
 };
 
 class MetaQuerySession {
@@ -97,14 +116,22 @@ class MetaQuerySession {
   /// memory_budget_bytes == 0).
   const SpillStats& last_spill_stats() const { return last_spill_stats_; }
 
+  /// Which executor ran the most recent Query/Execute: "reference",
+  /// "batched", or "out-of-core". Diagnostic hook for spill-policy tests.
+  const char* last_engine() const { return last_engine_; }
+
  private:
   Result<std::shared_ptr<Relation>> Lookup(const std::string& name) const;
+
+  /// spill_policy decision for one statement (given a nonzero budget).
+  bool SpillEngaged(const sql::SelectStmt& stmt) const;
 
   /// Worker pool for batched execution; nullptr when running inline.
   ThreadPool* PoolForQuery();
 
   MetaQueryOptions options_;
   SpillStats last_spill_stats_;
+  const char* last_engine_ = "";
   /// Guards the lazily created worker pool. Pool creation races when
   /// several threads issue this session's first parallel query; the
   /// ThreadPool itself is thread-safe once published.

@@ -1,0 +1,72 @@
+// Per-page carve artifact cache: the records and index entries the content
+// pass produced for one (page content, decode context) pair, stored in an
+// append-only checksummed block file (artifacts.bin).
+//
+// Cache correctness rests on the carver's per-page determinism: for a fixed
+// repository (fixed carve options, stored in repo.meta) the content pass
+// over one page depends only on the page bytes and the schema that drove
+// typed decoding — so the key is (page hash, context hash), where the
+// context is the serialized schema or a constant for untyped/index/catalog
+// decodes. A schema change (ALTER TABLE seen in a later snapshot) changes
+// the context hash, which *is* the invalidation rule: stale entries are
+// never returned, merely left unreferenced.
+//
+// Entries are decoded lazily and memoized, so reopening a large repository
+// costs one index scan, not a full artifact decode. Single-orchestrator
+// contract, like PageStore.
+#ifndef DBFA_SNAPSHOT_ARTIFACT_CACHE_H_
+#define DBFA_SNAPSHOT_ARTIFACT_CACHE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "snapshot/snapshot_codec.h"
+
+namespace dbfa {
+
+class ArtifactCache {
+ public:
+  /// Opens (or creates) the cache file and scans its block index.
+  static Result<std::unique_ptr<ArtifactCache>> Open(const std::string& path);
+
+  ~ArtifactCache();
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  size_t size() const { return index_.size(); }
+
+  bool Contains(const ArtifactKey& key) const {
+    return index_.find(key) != index_.end();
+  }
+
+  /// Returns the cached artifacts for `key`, or nullptr when absent.
+  /// First access per key reads and verifies the block from disk; repeat
+  /// accesses return the memoized decode.
+  Result<std::shared_ptr<const PageArtifacts>> Get(const ArtifactKey& key);
+
+  /// Inserts artifacts for `key` (no-op when already present). The given
+  /// artifacts are memoized as-is, so callers must pass them already in
+  /// canonical form: page_index == 0 on every record and index entry.
+  Status Put(const ArtifactKey& key, const PageArtifacts& artifacts);
+
+ private:
+  explicit ArtifactCache(std::string path) : path_(std::move(path)) {}
+
+  Status LoadIndex();
+
+  struct Slot {
+    long file_offset = 0;
+    std::shared_ptr<const PageArtifacts> decoded;  // lazy
+  };
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::unordered_map<ArtifactKey, Slot, ArtifactKeyHasher> index_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_SNAPSHOT_ARTIFACT_CACHE_H_

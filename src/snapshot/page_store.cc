@@ -1,0 +1,108 @@
+#include "snapshot/page_store.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace dbfa {
+
+Result<std::unique_ptr<PageStore>> PageStore::Open(const std::string& path,
+                                                   size_t page_size) {
+  if (page_size == 0) {
+    return Status::InvalidArgument("page store: page size must be nonzero");
+  }
+  std::unique_ptr<PageStore> store(new PageStore(path, page_size));
+  // "ab+": reads seek anywhere, writes always land at the end — exactly the
+  // append-only discipline the block format assumes.
+  store->file_ = std::fopen(path.c_str(), "ab+");
+  if (store->file_ == nullptr) {
+    return Status::IoError(
+        StrFormat("page store: cannot open %s", path.c_str()));
+  }
+  DBFA_RETURN_IF_ERROR(store->LoadIndex());
+  return store;
+}
+
+PageStore::~PageStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status PageStore::LoadIndex() {
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IoError("page store: seek failed");
+  }
+  std::string payload;
+  for (;;) {
+    long offset = std::ftell(file_);
+    if (offset < 0) return Status::IoError("page store: ftell failed");
+    DBFA_ASSIGN_OR_RETURN(bool more, ReadBlock(file_, &payload));
+    if (!more) break;
+    auto stored = std::make_unique<Stored>();
+    size_t page_bytes = 0;
+    DBFA_RETURN_IF_ERROR(
+        DecodePageEntry(payload, page_size_, &stored->entry, &page_bytes));
+    stored->file_offset = offset;
+    buckets_[stored->entry.crc].push_back(stored.get());
+    entries_.push_back(std::move(stored));
+  }
+  return Status::Ok();
+}
+
+const PageStore::Stored* PageStore::Find(uint32_t crc,
+                                         const PageHash& hash) const {
+  auto it = buckets_.find(crc);
+  if (it == buckets_.end()) return nullptr;
+  for (const Stored* s : it->second) {
+    if (s->entry.hash == hash) return s;
+  }
+  return nullptr;
+}
+
+Result<const PageStore::Stored*> PageStore::Put(const PageStoreEntry& entry,
+                                                ByteView page) {
+  if (page.size() != page_size_) {
+    return Status::InvalidArgument(
+        StrFormat("page store: page is %zu bytes, store page size is %zu",
+                  page.size(), page_size_));
+  }
+  if (const Stored* existing = Find(entry.crc, entry.hash)) return existing;
+  // "ab+" writes always land at EOF, but ftell reports the *read* cursor —
+  // seek explicitly so the recorded offset is where the block really goes.
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IoError("page store: seek failed");
+  }
+  long offset = std::ftell(file_);
+  if (offset < 0) return Status::IoError("page store: ftell failed");
+  std::string payload;
+  EncodePageEntry(entry, page, &payload);
+  DBFA_RETURN_IF_ERROR(AppendBlock(file_, payload));
+  auto stored = std::make_unique<Stored>();
+  stored->entry = entry;
+  stored->entry.meta.image_offset = 0;
+  stored->file_offset = offset;
+  const Stored* raw = stored.get();
+  buckets_[entry.crc].push_back(raw);
+  entries_.push_back(std::move(stored));
+  return raw;
+}
+
+Status PageStore::ReadPage(const Stored& stored, Bytes* out) const {
+  if (std::fseek(file_, stored.file_offset, SEEK_SET) != 0) {
+    return Status::IoError("page store: seek failed");
+  }
+  std::string payload;
+  DBFA_ASSIGN_OR_RETURN(bool more, ReadBlock(file_, &payload));
+  if (!more) return Status::Corruption("page store: entry block vanished");
+  PageStoreEntry entry;
+  size_t page_bytes = 0;
+  DBFA_RETURN_IF_ERROR(
+      DecodePageEntry(payload, page_size_, &entry, &page_bytes));
+  if (!(entry.hash == stored.entry.hash)) {
+    return Status::Corruption("page store: entry hash changed on disk");
+  }
+  ByteView page = AsByteView(payload).Slice(page_bytes);
+  *out = page.ToBytes();
+  return Status::Ok();
+}
+
+}  // namespace dbfa

@@ -92,6 +92,100 @@ TEST(EvidenceTest, PackageSurvivesDiskRoundTrip) {
   EXPECT_TRUE(EvidenceCollector::Verify(*loaded, db->audit_log()).ok());
 }
 
+TEST(EvidenceTest, CorruptedPackageLoadsFailWithStatus) {
+  auto db = Database::Open(DatabaseOptions{}).value();
+  SyntheticWorkload workload(db.get(), "Accounts", 23);
+  ASSERT_TRUE(workload.Setup(50).ok());
+  db->audit_log().SetEnabled(false);
+  ASSERT_TRUE(db->ExecuteSql("DELETE FROM Accounts WHERE Id = 9").ok());
+  db->audit_log().SetEnabled(true);
+
+  CarverConfig config = ConfigFor(db->params().dialect);
+  Bytes image = db->SnapshotDisk().value();
+  Carver carver(config);
+  auto carve = carver.Carve(image).value();
+  DbDetective detective(&carve, &db->audit_log());
+  auto findings = detective.FindUnattributedModifications().value();
+  EvidenceCollector collector(config);
+  EvidencePackage package = collector.Collect(image, carve, findings).value();
+
+  std::string dir = ::testing::TempDir() + "/dbfa_evidence_corrupt";
+  auto save_variant = [&](const EvidencePackage& p) {
+    ASSERT_EQ(std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str()),
+              0);
+    ASSERT_TRUE(p.SaveTo(dir).ok());
+  };
+
+  // Baseline sanity: the untouched package loads.
+  save_variant(package);
+  ASSERT_TRUE(EvidencePackage::LoadFrom(dir).ok());
+
+  // Truncated evidence.img (not a page-size multiple).
+  {
+    EvidencePackage truncated = package;
+    truncated.image.resize(truncated.image.size() - 100);
+    save_variant(truncated);
+    auto loaded = EvidencePackage::LoadFrom(dir);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+        << loaded.status().ToString();
+    EXPECT_NE(loaded.status().ToString().find("page size"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+
+  // Empty image.
+  {
+    EvidencePackage empty = package;
+    empty.image.clear();
+    save_variant(empty);
+    EXPECT_EQ(EvidencePackage::LoadFrom(dir).status().code(),
+              StatusCode::kCorruption);
+  }
+
+  // Malformed manifest lines: wrong field count, non-numeric fields,
+  // and out-of-range ids.
+  for (const std::string& bad_line :
+       {std::string("1 2"), std::string("a b c"),
+        std::string("0 5 1024"), std::string("7 0 1024"),
+        std::string("1 2 3 4"), std::string("5000000000 1 0")}) {
+    EvidencePackage bad = package;
+    bad.manifest[0] = bad_line;
+    save_variant(bad);
+    auto loaded = EvidencePackage::LoadFrom(dir);
+    ASSERT_FALSE(loaded.ok()) << "line: " << bad_line;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+        << bad_line << ": " << loaded.status().ToString();
+    EXPECT_NE(loaded.status().ToString().find("manifest"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+
+  // Manifest page count disagreeing with the image.
+  {
+    EvidencePackage short_manifest = package;
+    short_manifest.manifest.pop_back();
+    save_variant(short_manifest);
+    EXPECT_EQ(EvidencePackage::LoadFrom(dir).status().code(),
+              StatusCode::kCorruption);
+  }
+
+  // Config/image page-size mismatch: a config whose page size does not
+  // divide the image must be rejected before any page math runs.
+  {
+    EvidencePackage mismatched = package;
+    CarverConfig other = config;
+    other.params.page_size = config.params.page_size * 2;
+    mismatched.config_text = ConfigToText(other);
+    // Keep the image size indivisible by the doubled page size.
+    mismatched.image.resize(config.params.page_size * 3);
+    mismatched.manifest.resize(3);
+    save_variant(mismatched);
+    EXPECT_EQ(EvidencePackage::LoadFrom(dir).status().code(),
+              StatusCode::kCorruption);
+  }
+}
+
 // ---- External page building (Section IV-b) ---------------------------------
 
 class PageBuilderDialectTest : public ::testing::TestWithParam<std::string> {

@@ -226,6 +226,38 @@ class MetaQueryDifferentialTest : public ::testing::Test {
                                     threads, query.c_str()));
         }
       }
+      // spill_policy three ways: kNever pins the in-memory engine even
+      // under a budget, kAuto routes by estimated working set — and both
+      // must agree with the oracle whatever engine they land on.
+      for (SpillPolicy policy : {SpillPolicy::kNever, SpillPolicy::kAuto}) {
+        for (size_t budget : {4096u, 1u << 28}) {
+          MetaQueryOptions options;
+          options.num_threads = 2;
+          options.batch_rows = 64;
+          options.memory_budget_bytes = budget;
+          options.spill_policy = policy;
+          MetaQuerySession session(options);
+          session.Register("T1", t1);
+          session.Register("T2", t2);
+          auto actual = session.Query(query);
+          ASSERT_TRUE(actual.ok())
+              << query << ": " << actual.status().ToString();
+          ExpectSameTable(
+              *expected, *actual,
+              StrFormat("[policy=%d budget=%zu] %s",
+                        static_cast<int>(policy), budget, query.c_str()));
+          if (policy == SpillPolicy::kNever) {
+            EXPECT_STREQ(session.last_engine(), "batched") << query;
+          } else if (budget == (1u << 28)) {
+            // These tables are far under 128 MB; kAuto must stay in memory.
+            EXPECT_STREQ(session.last_engine(), "batched") << query;
+          } else if (t1->EstimatedBytes().value_or(0) > budget) {
+            // Every query reads T1, so the working set alone overruns the
+            // tight budget; kAuto must engage the out-of-core engine.
+            EXPECT_STREQ(session.last_engine(), "out-of-core") << query;
+          }
+        }
+      }
       {
         // Spot-check the default batch geometry under the tightest budget.
         MetaQueryOptions options;

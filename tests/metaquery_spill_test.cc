@@ -271,6 +271,54 @@ TEST(MetaQuerySpillTest, SpillStatsReporting) {
   EXPECT_FALSE(session->last_spill_stats().spilled());
 }
 
+TEST(MetaQuerySpillTest, SpillPolicyRoutesEngineByWorkingSet) {
+  Rng rng(19);
+  auto fact = MakeFact(&rng, 800, 8);
+  auto dim = MakeDim(&rng, 100, 8);
+  const std::string query = "SELECT id, d FROM fact ORDER BY d";
+
+  // kAlways (the default) preserves the pre-policy contract: any budget
+  // routes out-of-core.
+  MetaQueryOptions options;
+  options.memory_budget_bytes = size_t{64} << 20;
+  std::unique_ptr<MetaQuerySession> session = MakeSession(fact, dim, options);
+  ASSERT_TRUE(session->Query(query).ok());
+  EXPECT_STREQ(session->last_engine(), "out-of-core");
+
+  // kNever pins the in-memory engine even under a tight budget.
+  options.memory_budget_bytes = 4096;
+  options.spill_policy = SpillPolicy::kNever;
+  session->set_options(options);
+  ASSERT_TRUE(session->Query(query).ok());
+  EXPECT_STREQ(session->last_engine(), "batched");
+
+  // kAuto compares the estimated working set against the budget: the same
+  // query spills under 4 KB and stays in memory under 64 MB.
+  options.spill_policy = SpillPolicy::kAuto;
+  session->set_options(options);
+  ASSERT_TRUE(session->Query(query).ok());
+  EXPECT_STREQ(session->last_engine(), "out-of-core");
+  EXPECT_TRUE(session->last_spill_stats().spilled());
+
+  options.memory_budget_bytes = size_t{64} << 20;
+  session->set_options(options);
+  ASSERT_TRUE(session->Query(query).ok());
+  EXPECT_STREQ(session->last_engine(), "batched");
+
+  // A join under kAuto sums both inputs' estimates.
+  options.memory_budget_bytes = 4096;
+  session->set_options(options);
+  ASSERT_TRUE(
+      session->Query("SELECT fact.id, dim.w FROM fact JOIN dim "
+                     "ON fact.k = dim.k ORDER BY fact.id, dim.w LIMIT 10")
+          .ok());
+  EXPECT_STREQ(session->last_engine(), "out-of-core");
+
+  // Unknown relations fall through to the executor's error path with the
+  // conservative (spill) choice — never a crash.
+  EXPECT_FALSE(session->Query("SELECT * FROM missing").ok());
+}
+
 TEST(MetaQuerySpillTest, SpillDirEmptyAfterSuccess) {
   Rng rng(17);
   auto fact = MakeFact(&rng, 1000, 8);

@@ -1,0 +1,412 @@
+// SnapshotRepo: repository lifecycle (Create/Open round-trip, persisted
+// config + carve options), store-accelerated ingest vs the serial carver,
+// dedup accounting on warm re-ingest, page-level diffs, record history,
+// incremental detection against the audit log, cross-snapshot
+// meta-queries, and graceful failure on corrupted repository files.
+#include "snapshot/snapshot_repo.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "carve_equivalence.h"
+#include "common/strings.h"
+#include "core/carver.h"
+#include "engine/database.h"
+#include "storage/dialects.h"
+#include "storage/disk_image.h"
+
+namespace dbfa {
+namespace {
+
+namespace fs = std::filesystem;
+
+CarverConfig ConfigFor(const std::string& dialect) {
+  CarverConfig config;
+  config.params = GetDialect(dialect).value();
+  config.catalog_object_id = kCatalogObjectId;
+  return config;
+}
+
+std::unique_ptr<Database> OpenDb(const std::string& dialect) {
+  DatabaseOptions options;
+  options.dialect = dialect;
+  auto db = Database::Open(options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+std::unique_ptr<Database> PopulatedDb(const std::string& dialect, int rows) {
+  auto db = OpenDb(dialect);
+  EXPECT_TRUE(db->ExecuteSql("CREATE TABLE Customer (Id INT NOT NULL, "
+                             "Name VARCHAR(32), City VARCHAR(24), "
+                             "PRIMARY KEY (Id))")
+                  .ok());
+  for (int i = 1; i <= rows; ++i) {
+    EXPECT_TRUE(db->ExecuteSql(StrFormat("INSERT INTO Customer VALUES "
+                                         "(%d, 'Name%04d', 'City%d')",
+                                         i, i, i % 7))
+                    .ok());
+  }
+  EXPECT_TRUE(db->ExecuteSql("DELETE FROM Customer WHERE Id <= 20").ok());
+  return db;
+}
+
+/// Fresh per-test repository directory under the gtest temp root.
+std::string RepoDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// Image with the database file framed by garbage, like a real capture.
+Bytes CaptureImage(Database* db, uint64_t seed) {
+  auto file = db->SnapshotDisk();
+  EXPECT_TRUE(file.ok()) << file.status().ToString();
+  Rng rng(seed);
+  DiskImageBuilder builder;
+  builder.AppendGarbage(512 * 3, &rng);
+  builder.AppendFile("db", *file);
+  builder.AppendGarbage(512 * 5, &rng);
+  return builder.TakeBytes();
+}
+
+/// Flips one byte of `path` at `offset` in place.
+void FlipByteAt(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(c ^ 0x40, f);
+  std::fclose(f);
+}
+
+TEST(SnapshotRepoTest, CreateOpenRoundTripPersistsConfigAndOptions) {
+  std::string dir = RepoDir("snap_roundtrip");
+  CarveOptions options;
+  options.scan_step = 256;
+  options.parse_bad_checksum_pages = true;
+  auto created = SnapshotRepo::Create(dir, ConfigFor("postgres_like"),
+                                      options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  // A second Create on the same directory must refuse, not clobber.
+  auto again = SnapshotRepo::Create(dir, ConfigFor("postgres_like"));
+  EXPECT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().code() == StatusCode::kAlreadyExists)
+      << again.status().ToString();
+
+  auto db = PopulatedDb("postgres_like", 60);
+  Bytes image = CaptureImage(db.get(), 7);
+  auto stats = (*created)->Ingest(image);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->snapshot_id, 1u);
+  created->reset();  // close before reopening
+
+  auto opened = SnapshotRepo::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ((*opened)->config().params.dialect, "postgres_like");
+  EXPECT_EQ((*opened)->options().scan_step, 256u);
+  EXPECT_TRUE((*opened)->options().parse_bad_checksum_pages);
+  auto list = (*opened)->List();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].id, 1u);
+  EXPECT_EQ(list[0].image_size, image.size());
+  EXPECT_GT(list[0].page_count, 0u);
+}
+
+TEST(SnapshotRepoTest, ColdIngestMatchesSerialCarve) {
+  std::string dir = RepoDir("snap_cold");
+  CarverConfig config = ConfigFor("postgres_like");
+  auto repo = SnapshotRepo::Create(dir, config);
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+
+  auto db = PopulatedDb("postgres_like", 150);
+  Bytes image = CaptureImage(db.get(), 13);
+  auto stats = (*repo)->Ingest(image);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->pages_reused, 0u);
+  EXPECT_EQ(stats->pages_new, stats->pages_total);
+  EXPECT_GT(stats->pages_total, 0u);
+
+  auto serial = Carver(config, (*repo)->options()).Carve(image);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto assembled = (*repo)->AssembleCarve(1);
+  ASSERT_TRUE(assembled.ok()) << assembled.status().ToString();
+  ExpectSameCarveResult(*serial, *assembled);
+}
+
+TEST(SnapshotRepoTest, WarmReingestReusesPagesAndArtifacts) {
+  std::string dir = RepoDir("snap_warm");
+  CarverConfig config = ConfigFor("postgres_like");
+  auto repo = SnapshotRepo::Create(dir, config);
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+
+  auto db = PopulatedDb("postgres_like", 120);
+  Bytes image = CaptureImage(db.get(), 29);
+  ASSERT_TRUE((*repo)->Ingest(image).ok());
+  auto warm = (*repo)->Ingest(image);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  // Identical bytes: every page dedupes, every artifact is served cached.
+  EXPECT_EQ(warm->snapshot_id, 2u);
+  EXPECT_EQ(warm->pages_reused, warm->pages_total);
+  EXPECT_EQ(warm->pages_new, 0u);
+  EXPECT_EQ(warm->artifacts_carved, 0u);
+  EXPECT_GT(warm->artifacts_reused, 0u);
+
+  auto serial = Carver(config, (*repo)->options()).Carve(image);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto assembled = (*repo)->AssembleCarve(2);
+  ASSERT_TRUE(assembled.ok()) << assembled.status().ToString();
+  ExpectSameCarveResult(*serial, *assembled);
+
+  auto diff = (*repo)->Diff(1, 2);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_TRUE(diff->Empty()) << diff->ToString();
+}
+
+TEST(SnapshotRepoTest, AssembleAfterReopenMatchesSerialCarve) {
+  std::string dir = RepoDir("snap_reopen");
+  CarverConfig config = ConfigFor("sqlite_like");
+  auto db = PopulatedDb("sqlite_like", 90);
+  Bytes image = CaptureImage(db.get(), 41);
+
+  auto repo = SnapshotRepo::Create(dir, config);
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+  ASSERT_TRUE((*repo)->Ingest(image).ok());
+  CarveOptions serial_options = (*repo)->options();
+  repo->reset();
+
+  auto reopened = SnapshotRepo::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto serial = Carver(config, serial_options).Carve(image);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto assembled = (*reopened)->AssembleCarve(1);
+  ASSERT_TRUE(assembled.ok()) << assembled.status().ToString();
+  ExpectSameCarveResult(*serial, *assembled);
+}
+
+TEST(SnapshotRepoTest, DiffReportsAddedChangedVanished) {
+  std::string dir = RepoDir("snap_diff");
+  auto repo = SnapshotRepo::Create(dir, ConfigFor("postgres_like"));
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+
+  auto db = PopulatedDb("postgres_like", 80);
+  Bytes before = CaptureImage(db.get(), 53);
+  ASSERT_TRUE((*repo)->Ingest(before).ok());
+
+  // Grow the table: existing pages change (delete markers, fill) and new
+  // pages appear.
+  ASSERT_TRUE(db->ExecuteSql("DELETE FROM Customer WHERE Id <= 40").ok());
+  for (int i = 500; i < 900; ++i) {
+    ASSERT_TRUE(db->ExecuteSql(StrFormat("INSERT INTO Customer VALUES "
+                                         "(%d, 'Name%04d', 'City%d')",
+                                         i, i, i % 7))
+                    .ok());
+  }
+  Bytes after = CaptureImage(db.get(), 53);
+  ASSERT_TRUE((*repo)->Ingest(after).ok());
+
+  auto forward = (*repo)->Diff(1, 2);
+  ASSERT_TRUE(forward.ok()) << forward.status().ToString();
+  EXPECT_FALSE(forward->Empty());
+  EXPECT_GT(forward->changed.size(), 0u);
+  EXPECT_GT(forward->added.size(), 0u);
+
+  // The reverse diff mirrors the forward one: added <-> vanished, changed
+  // hash pairs swap.
+  auto reverse = (*repo)->Diff(2, 1);
+  ASSERT_TRUE(reverse.ok()) << reverse.status().ToString();
+  EXPECT_EQ(reverse->vanished.size(), forward->added.size());
+  EXPECT_EQ(reverse->added.size(), forward->vanished.size());
+  EXPECT_EQ(reverse->changed.size(), forward->changed.size());
+
+  auto self = (*repo)->Diff(2, 2);
+  ASSERT_TRUE(self.ok());
+  EXPECT_TRUE(self->Empty());
+
+  EXPECT_FALSE((*repo)->Diff(1, 99).ok());
+}
+
+TEST(SnapshotRepoTest, HistoryTracksFirstAndLastSeen) {
+  std::string dir = RepoDir("snap_history");
+  auto repo = SnapshotRepo::Create(dir, ConfigFor("postgres_like"));
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+
+  auto db = PopulatedDb("postgres_like", 50);
+  ASSERT_TRUE((*repo)->Ingest(CaptureImage(db.get(), 61)).ok());
+  ASSERT_TRUE(
+      db->ExecuteSql("INSERT INTO Customer VALUES (900, 'Newcomer', 'Late')")
+          .ok());
+  ASSERT_TRUE((*repo)->Ingest(CaptureImage(db.get(), 61)).ok());
+
+  Record newcomer = {Value::Int(900), Value::Str("Newcomer"),
+                     Value::Str("Late")};
+  auto late = (*repo)->History("Customer", newcomer);
+  ASSERT_TRUE(late.ok()) << late.status().ToString();
+  EXPECT_EQ(late->first_seen, 2u);
+  EXPECT_EQ(late->last_seen, 2u);
+  EXPECT_EQ(late->seen_in, (std::vector<uint64_t>{2}));
+
+  Record veteran = {Value::Int(30), Value::Str("Name0030"),
+                    Value::Str("City2")};
+  auto always = (*repo)->History("Customer", veteran);
+  ASSERT_TRUE(always.ok()) << always.status().ToString();
+  EXPECT_EQ(always->first_seen, 1u);
+  EXPECT_EQ(always->last_seen, 2u);
+  EXPECT_EQ(always->seen_in, (std::vector<uint64_t>{1, 2}));
+
+  Record never = {Value::Int(-1), Value::Str("Nobody"), Value::Str("X")};
+  auto missing = (*repo)->History("Customer", never);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->first_seen, 0u);
+  EXPECT_TRUE(missing->seen_in.empty());
+}
+
+TEST(SnapshotRepoTest, DetectIncrementalFlagsOnlyDeltaRecords) {
+  std::string dir = RepoDir("snap_detect");
+  auto repo = SnapshotRepo::Create(dir, ConfigFor("postgres_like"));
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+
+  auto db = PopulatedDb("postgres_like", 100);
+  ASSERT_TRUE((*repo)->Ingest(CaptureImage(db.get(), 71)).ok());
+
+  // A tampering actor deletes a row with the audit log suppressed.
+  db->audit_log().SetEnabled(false);
+  ASSERT_TRUE(db->ExecuteSql("DELETE FROM Customer WHERE Id = 77").ok());
+  db->audit_log().SetEnabled(true);
+  ASSERT_TRUE((*repo)->Ingest(CaptureImage(db.get(), 71)).ok());
+
+  auto incremental = (*repo)->DetectIncremental(1, 2, db->audit_log());
+  ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
+
+  // Only the delta was re-matched, and it still catches the tampering.
+  auto list = (*repo)->List();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_GT(incremental->pages_rematched, 0u);
+  EXPECT_LT(incremental->pages_rematched, list[1].page_count);
+  EXPECT_GT(incremental->records_rematched, 0u);
+  bool found = false;
+  for (const UnattributedModification& m : incremental->modifications) {
+    if (m.table == "Customer" && !m.values.empty() &&
+        m.values[0] == Value::Int(77)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << incremental->ToString();
+
+  // The full (non-incremental) detection over the assembled carve agrees.
+  auto carve = (*repo)->AssembleCarve(2);
+  ASSERT_TRUE(carve.ok());
+  DbDetective detective(&*carve, &db->audit_log());
+  auto full = detective.FindUnattributedModifications();
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  bool full_found = false;
+  for (const UnattributedModification& m : *full) {
+    if (m.table == "Customer" && !m.values.empty() &&
+        m.values[0] == Value::Int(77)) {
+      full_found = true;
+    }
+  }
+  EXPECT_TRUE(full_found);
+  EXPECT_LE(incremental->records_rematched,
+            full->size() + incremental->records_rematched);
+  EXPECT_LE(incremental->deleted_checked + incremental->active_checked,
+            incremental->records_rematched);
+}
+
+TEST(SnapshotRepoTest, RegisterSnapshotsEnablesCrossSnapshotQueries) {
+  std::string dir = RepoDir("snap_query");
+  auto repo = SnapshotRepo::Create(dir, ConfigFor("postgres_like"));
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+
+  auto db = PopulatedDb("postgres_like", 40);
+  ASSERT_TRUE((*repo)->Ingest(CaptureImage(db.get(), 83)).ok());
+  ASSERT_TRUE(
+      db->ExecuteSql("UPDATE Customer SET City = 'Moved' WHERE Id = 25")
+          .ok());
+  ASSERT_TRUE((*repo)->Ingest(CaptureImage(db.get(), 83)).ok());
+
+  MetaQuerySession session;
+  std::vector<std::string> skipped;
+  ASSERT_TRUE((*repo)->RegisterSnapshots(&session, {}, &skipped).ok());
+  EXPECT_TRUE(skipped.empty()) << Join(skipped, "; ");
+
+  // Section II-C's cross-snapshot join: whose city changed between the two
+  // captures?
+  auto moved = session.Query(
+      "SELECT A.Id FROM Snap1Customer AS A JOIN Snap2Customer AS B "
+      "ON A.Id = B.Id WHERE A.City <> B.City");
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  bool saw_25 = false;
+  for (const auto& row : moved->rows) {
+    ASSERT_EQ(row.size(), 1u);
+    if (row[0] == Value::Int(25)) saw_25 = true;
+  }
+  EXPECT_TRUE(saw_25) << moved->ToText(20);
+}
+
+TEST(SnapshotRepoTest, CorruptedRepositoryFilesFailGracefully) {
+  std::string dir = RepoDir("snap_corrupt");
+  auto db = PopulatedDb("postgres_like", 60);
+  Bytes image = CaptureImage(db.get(), 97);
+  {
+    auto repo = SnapshotRepo::Create(dir, ConfigFor("postgres_like"));
+    ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+    ASSERT_TRUE((*repo)->Ingest(image).ok());
+  }
+
+  // A bit flip in the page store is caught by the block CRC at open.
+  {
+    std::string pages = (fs::path(dir) / "pages.bin").string();
+    auto size = fs::file_size(pages);
+    ASSERT_GT(size, 64u);
+    FlipByteAt(pages, static_cast<long>(size / 2));
+    auto repo = SnapshotRepo::Open(dir);
+    EXPECT_FALSE(repo.ok());
+    EXPECT_TRUE(repo.status().code() == StatusCode::kCorruption) << repo.status().ToString();
+    FlipByteAt(pages, static_cast<long>(size / 2));  // restore
+  }
+
+  // Same for the artifact cache.
+  {
+    std::string artifacts = (fs::path(dir) / "artifacts.bin").string();
+    auto size = fs::file_size(artifacts);
+    ASSERT_GT(size, 64u);
+    FlipByteAt(artifacts, static_cast<long>(size / 2));
+    auto repo = SnapshotRepo::Open(dir);
+    EXPECT_FALSE(repo.ok());
+    EXPECT_TRUE(repo.status().code() == StatusCode::kCorruption) << repo.status().ToString();
+    FlipByteAt(artifacts, static_cast<long>(size / 2));  // restore
+  }
+
+  // A truncated manifest (no end marker) must be rejected, not half-loaded.
+  {
+    std::string manifest =
+        (fs::path(dir) / "snapshots" / "1.manifest").string();
+    auto size = fs::file_size(manifest);
+    fs::resize_file(manifest, size - 5);
+    auto repo = SnapshotRepo::Open(dir);
+    EXPECT_FALSE(repo.ok());
+    EXPECT_TRUE(repo.status().code() == StatusCode::kCorruption) << repo.status().ToString();
+  }
+}
+
+TEST(SnapshotRepoTest, IngestRejectsEmptyImageAndUnknownSnapshotIds) {
+  std::string dir = RepoDir("snap_args");
+  auto repo = SnapshotRepo::Create(dir, ConfigFor("postgres_like"));
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+  EXPECT_FALSE((*repo)->Ingest(ByteView()).ok());
+  EXPECT_TRUE((*repo)->AssembleCarve(1).status().code() == StatusCode::kNotFound);
+  EXPECT_TRUE((*repo)->Diff(1, 2).status().code() == StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dbfa

@@ -47,7 +47,12 @@ RULES = ("raw-byte-read", "nodiscard-status", "unordered-iter",
 
 # Directories (relative to the repo root) whose output ordering is part of
 # the bit-identical determinism contract; unordered-iter fires only here.
-DETERMINISM_DIRS = ("src/core/", "src/metaquery/", "src/detective/")
+DETERMINISM_DIRS = (
+    "src/core/",
+    "src/metaquery/",
+    "src/detective/",
+    "src/snapshot/",
+)
 
 ALLOW_RE = re.compile(r"dbfa-lint:\s*allow\(([a-z-]+)\)")
 
