@@ -71,6 +71,10 @@ std::optional<CarvedPage> Carver::ProbePage(ByteView image,
 
 Result<CarveResult> Carver::Carve(ByteView image) const {
   const PageLayoutParams& p = config_.params;
+  // A malformed parameter set (e.g. an oversized page_size or a header
+  // field past header_size) would defeat the bounds reasoning below, so
+  // reject it before touching any image byte.
+  DBFA_RETURN_IF_ERROR(p.Validate());
   CarveResult result;
   result.dialect = p.dialect;
   result.image_size = image.size();

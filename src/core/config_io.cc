@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 
 #include "common/strings.h"
 
@@ -11,13 +12,48 @@ namespace {
 
 const char* BoolText(bool b) { return b ? "1" : "0"; }
 
+// Strict decimal parse: digits only (no sign, no whitespace, no empty
+// string — strtoull would accept all three and quietly wrap negatives),
+// overflow rejected. Config files may come from hostile evidence bundles.
 Result<uint64_t> ParseUint(const std::string& v, const std::string& key) {
-  char* end = nullptr;
-  uint64_t n = std::strtoull(v.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0') {
-    return Status::InvalidArgument("bad integer for " + key + ": " + v);
+  if (v.empty()) {
+    return Status::InvalidArgument("bad integer for " + key + ": empty");
+  }
+  uint64_t n = 0;
+  for (char c : v) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad integer for " + key + ": " + v);
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (n > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("integer overflow for " + key + ": " +
+                                     v);
+    }
+    n = n * 10 + digit;
   }
   return n;
+}
+
+// Strict hex byte: 1-2 hex digits, nothing else.
+Result<uint8_t> ParseHexByte(const std::string& v, const std::string& key) {
+  if (v.empty() || v.size() > 2) {
+    return Status::InvalidArgument("bad hex byte for " + key + ": " + v);
+  }
+  uint32_t n = 0;
+  for (char c : v) {
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint32_t>(c - 'A') + 10;
+    } else {
+      return Status::InvalidArgument("bad hex byte for " + key + ": " + v);
+    }
+    n = n * 16 + digit;
+  }
+  return static_cast<uint8_t>(n);
 }
 
 }  // namespace
@@ -126,13 +162,21 @@ Result<CarverConfig> ConfigFromText(const std::string& text) {
     }
     std::string key(Trim(line.substr(0, eq)));
     std::string value(Trim(line.substr(eq + 1)));
-    kv[ToLower(key)] = value;
+    if (key.empty()) {
+      return Status::InvalidArgument("bad config line: " +
+                                     std::string(line));
+    }
+    if (!kv.emplace(ToLower(key), value).second) {
+      return Status::InvalidArgument("duplicate config key: " + key);
+    }
   }
+  std::set<std::string> used;
   auto get = [&](const char* key) -> Result<std::string> {
     auto it = kv.find(key);
     if (it == kv.end()) {
       return Status::InvalidArgument(std::string("missing key: ") + key);
     }
+    used.insert(key);
     return it->second;
   };
   auto get_uint = [&](const char* key) -> Result<uint64_t> {
@@ -141,35 +185,51 @@ Result<CarverConfig> ConfigFromText(const std::string& text) {
   };
   auto get_bool = [&](const char* key) -> Result<bool> {
     DBFA_ASSIGN_OR_RETURN(std::string v, get(key));
+    if (v != "0" && v != "1") {
+      return Status::InvalidArgument(std::string("bad bool for ") + key +
+                                     ": " + v);
+    }
     return v == "1";
   };
   auto get_hex_byte = [&](const char* key) -> Result<uint8_t> {
     DBFA_ASSIGN_OR_RETURN(std::string v, get(key));
-    return static_cast<uint8_t>(std::strtoul(v.c_str(), nullptr, 16));
+    return ParseHexByte(v, key);
   };
 
   CarverConfig config;
   PageLayoutParams& p = config.params;
   DBFA_ASSIGN_OR_RETURN(p.dialect, get("dialect"));
   DBFA_ASSIGN_OR_RETURN(uint64_t page_size, get_uint("page_size"));
+  if (page_size > UINT32_MAX) {
+    // Truncating here could alias a hostile value onto a valid page size
+    // and let the rest of the config parse into a half-sane state.
+    return Status::InvalidArgument(
+        StrFormat("page_size out of range: %llu",
+                  static_cast<unsigned long long>(page_size)));
+  }
   p.page_size = static_cast<uint32_t>(page_size);
   DBFA_ASSIGN_OR_RETURN(p.big_endian, get_bool("big_endian"));
-  DBFA_ASSIGN_OR_RETURN(uint64_t mo, get_uint("magic_offset"));
-  p.magic_offset = static_cast<uint16_t>(mo);
+  auto u16_field = [&](const char* key, uint16_t* out) -> Status {
+    DBFA_ASSIGN_OR_RETURN(uint64_t v, get_uint(key));
+    if (v > UINT16_MAX) {
+      return Status::InvalidArgument(
+          StrFormat("%s out of range: %llu", key,
+                    static_cast<unsigned long long>(v)));
+    }
+    *out = static_cast<uint16_t>(v);
+    return Status::Ok();
+  };
+  DBFA_RETURN_IF_ERROR(u16_field("magic_offset", &p.magic_offset));
   {
     DBFA_ASSIGN_OR_RETURN(std::string magic_text, get("magic"));
     p.magic.clear();
     for (const std::string& tok : Split(magic_text, ' ')) {
-      if (Trim(tok).empty()) continue;
-      p.magic.push_back(
-          static_cast<uint8_t>(std::strtoul(tok.c_str(), nullptr, 16)));
+      std::string t(Trim(tok));
+      if (t.empty()) continue;
+      DBFA_ASSIGN_OR_RETURN(uint8_t b, ParseHexByte(t, "magic"));
+      p.magic.push_back(b);
     }
   }
-  auto u16_field = [&](const char* key, uint16_t* out) -> Status {
-    DBFA_ASSIGN_OR_RETURN(uint64_t v, get_uint(key));
-    *out = static_cast<uint16_t>(v);
-    return Status::Ok();
-  };
   DBFA_RETURN_IF_ERROR(u16_field("page_id_offset", &p.page_id_offset));
   DBFA_RETURN_IF_ERROR(u16_field("object_id_offset", &p.object_id_offset));
   DBFA_RETURN_IF_ERROR(u16_field("page_type_offset", &p.page_type_offset));
@@ -254,7 +314,20 @@ Result<CarverConfig> ConfigFromText(const std::string& text) {
   DBFA_ASSIGN_OR_RETURN(p.index_entry_marker,
                         get_hex_byte("index_entry_marker"));
   DBFA_ASSIGN_OR_RETURN(uint64_t cat, get_uint("catalog_object_id"));
+  if (cat > UINT32_MAX) {
+    return Status::InvalidArgument(
+        StrFormat("catalog_object_id out of range: %llu",
+                  static_cast<unsigned long long>(cat)));
+  }
   config.catalog_object_id = static_cast<uint32_t>(cat);
+  // Every recognized key has been consumed above; anything left is a typo
+  // or an injection attempt, and silently ignoring it would carve with a
+  // different configuration than the analyst believes they loaded.
+  for (const auto& [key, value] : kv) {
+    if (used.find(key) == used.end()) {
+      return Status::InvalidArgument("unknown config key: " + key);
+    }
+  }
   DBFA_RETURN_IF_ERROR(p.Validate());
   return config;
 }

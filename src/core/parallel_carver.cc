@@ -90,6 +90,9 @@ Result<std::vector<CarveResult>> ParallelCarver::CarveMulti(
 
 Result<std::vector<CarveResult>> ParallelCarver::CarveAll(
     ByteView image, const std::vector<Carver>& carvers, ThreadPool* pool) {
+  for (const Carver& carver : carvers) {
+    DBFA_RETURN_IF_ERROR(carver.config().params.Validate());
+  }
   size_t n_configs = carvers.size();
   std::vector<CarveResult> results(n_configs);
   for (size_t ci = 0; ci < n_configs; ++ci) {

@@ -1,0 +1,110 @@
+// The fuzzing campaign: seed-driven mutant generation over clean synthetic
+// images of every dialect, each mutant checked against the oracle, each
+// failure minimized and distilled into the regression corpus
+// (docs/fuzzing.md). Fully deterministic in CampaignOptions::seed.
+#ifndef DBFA_FUZZ_CAMPAIGN_H_
+#define DBFA_FUZZ_CAMPAIGN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/artifacts.h"
+#include "core/config_io.h"
+#include "engine/audit_log.h"
+#include "fuzz/mutators.h"
+#include "fuzz/oracle.h"
+
+namespace dbfa {
+
+/// A clean synthetic image plus everything the oracle compares against.
+struct BaselineImage {
+  CarverConfig config;
+  Bytes image;
+  AuditLog log;
+  CarveResult carve;
+};
+
+struct CampaignOptions {
+  uint64_t seed = 1;
+  /// Dialects to fuzz; empty means all built-in dialects.
+  std::vector<std::string> dialects;
+  size_t mutants_per_dialect = 128;
+  /// Each mutant stacks 1..max_mutations_per_mutant mutations.
+  size_t max_mutations_per_mutant = 4;
+  /// Every Nth mutant additionally round-trips through a snapshot repo /
+  /// the detective / a wrong-dialect carve (0 disables the check).
+  size_t snapshot_every = 8;
+  size_t detective_every = 8;
+  size_t confusion_every = 16;
+  /// Scratch directory for throwaway snapshot repos; required when
+  /// snapshot_every > 0.
+  std::string scratch_dir;
+  /// When non-empty, minimized failures are distilled here as corpus
+  /// entries (image + expected-findings sidecar).
+  std::string corpus_dir;
+  /// Soft wall-clock budget; 0 means unlimited. The campaign finishes the
+  /// current mutant and reports truncation instead of running over.
+  double time_budget_seconds = 0;
+  OracleOptions oracle;
+  /// Baseline workload shape (rows inserted, operations run).
+  int workload_rows = 40;
+  int workload_ops = 60;
+};
+
+struct CampaignFailure {
+  std::string dialect;
+  size_t mutant_index = 0;
+  /// The minimized mutation list that still reproduces the violation.
+  std::vector<Mutation> mutations;
+  std::string violation;
+  /// Corpus entry name when distillation ran, "" otherwise.
+  std::string corpus_name;
+
+  std::string ToString() const;
+};
+
+struct CampaignReport {
+  size_t dialects_fuzzed = 0;
+  size_t mutants_run = 0;
+  size_t snapshot_checks = 0;
+  size_t detective_checks = 0;
+  size_t confusion_checks = 0;
+  bool truncated_by_budget = false;
+  std::vector<CampaignFailure> failures;
+
+  std::string ToString() const;
+};
+
+/// Builds the clean baseline for one dialect: a seeded synthetic workload
+/// (inserts, updates, deletes, a dropped table, two unlogged attack
+/// statements), snapshotted to a storage image and carved once.
+Result<BaselineImage> BuildBaseline(const std::string& dialect,
+                                    uint64_t seed, int rows, int ops);
+
+/// Shrinks `mutations` to a minimal sublist for which `fails` still
+/// returns true (delta debugging: try dropping halves, then quarters, then
+/// single mutations until a local minimum). `fails(mutations)` must hold
+/// on entry; the result is non-empty and still failing.
+std::vector<Mutation> MinimizeMutations(
+    const std::vector<Mutation>& mutations,
+    const std::function<bool(const std::vector<Mutation>&)>& fails);
+
+class FuzzCampaign {
+ public:
+  explicit FuzzCampaign(CampaignOptions options)
+      : options_(std::move(options)) {}
+
+  /// Runs the whole campaign. Returns an error only for setup problems
+  /// (unknown dialect, unusable scratch dir); oracle violations are data,
+  /// reported in CampaignReport::failures.
+  Result<CampaignReport> Run();
+
+ private:
+  CampaignOptions options_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_FUZZ_CAMPAIGN_H_

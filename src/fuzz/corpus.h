@@ -1,0 +1,74 @@
+// The committed regression corpus (tests/corpus/): small adversarial
+// images distilled from campaign failures plus curated coverage of every
+// mutator class. Each entry is an image file and an expected-findings
+// sidecar; corpus_replay_test registers every entry as its own ctest so a
+// regression names the exact artifact (docs/fuzzing.md).
+#ifndef DBFA_FUZZ_CORPUS_H_
+#define DBFA_FUZZ_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "fuzz/mutators.h"
+
+namespace dbfa {
+
+/// One corpus entry: provenance plus the findings a replay must reproduce.
+struct CorpusEntry {
+  std::string name;     // file stem: <name>.img / <name>.expect
+  std::string dialect;  // built-in dialect the image was grown from
+  std::vector<Mutation> mutations;
+  std::string note;  // one line: what this entry distills / guards
+  /// When set, the image is also carved with this (wrong) dialect's
+  /// config; the confusion_* expectations apply to that carve.
+  std::string confusion_dialect;
+
+  // Expected findings of the serial carve with the right config.
+  // Parallel carves must match the serial result exactly on top of this.
+  size_t expect_pages = 0;
+  size_t expect_checksum_failures = 0;
+  size_t expect_records = 0;
+  size_t expect_deleted = 0;
+  size_t expect_index_entries = 0;
+  size_t expect_catalog_entries = 0;
+  size_t expect_schemas = 0;
+
+  // Expected findings when carved with confusion_dialect's config.
+  size_t confusion_pages = 0;
+  size_t confusion_records = 0;
+};
+
+/// Writes <dir>/<name>.img and <dir>/<name>.expect.
+Status SaveCorpusEntry(const std::string& dir, const CorpusEntry& entry,
+                       ByteView image);
+
+/// Parses one .expect sidecar.
+Result<CorpusEntry> LoadCorpusEntry(const std::string& sidecar_path);
+
+/// Sorted list of .expect paths under `dir`.
+Result<std::vector<std::string>> ListCorpusSidecars(const std::string& dir);
+
+/// Replays one entry: loads the image, carves serially, checks every
+/// expectation, re-carves in parallel (1/2/8 threads, must match serial),
+/// round-trips through a throwaway snapshot repo under `scratch_dir`, and
+/// runs the confusion carve when declared. Ok iff everything matches.
+Status ReplayCorpusEntry(const std::string& sidecar_path,
+                         const std::string& scratch_dir);
+
+/// Builds a mutant image for `entry` from its dialect's deterministic
+/// baseline and fills in the expected findings by carving it. Used by the
+/// curated generator and by campaign distillation.
+Result<Bytes> RealizeCorpusEntry(CorpusEntry* entry, uint64_t baseline_seed,
+                                 int workload_rows, int workload_ops);
+
+/// Regenerates the curated corpus into `dir`: deterministic coverage of
+/// every mutator class across dialects, including wiped+checksum-repaired
+/// and dialect-confusion entries. Returns the number of entries written.
+Result<size_t> WriteCuratedCorpus(const std::string& dir, uint64_t seed);
+
+}  // namespace dbfa
+
+#endif  // DBFA_FUZZ_CORPUS_H_

@@ -1,0 +1,336 @@
+#include "fuzz/mutators.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "antiforensics/wiper.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "storage/page_formatter.h"
+
+namespace dbfa {
+namespace {
+
+constexpr const char* kMutatorNames[kMutatorKindCount] = {
+    "truncate",        "torn_page",      "bit_flip_random", "header_flip",
+    "slot_corrupt",    "length_overflow", "garbage_splice", "page_swap",
+    "wipe_repair",     "steg_inject",
+};
+
+/// Offsets of page-size-aligned pages whose magic matches. Clean synthetic
+/// images are page-aligned, so this finds every surviving page even after
+/// earlier mutations tore some of them.
+std::vector<size_t> FindAlignedPages(const CarverConfig& config,
+                                     const Bytes& image) {
+  const PageLayoutParams& p = config.params;
+  std::vector<size_t> offsets;
+  if (p.page_size == 0 || !p.Validate().ok()) return offsets;
+  PageFormatter fmt(p);
+  for (size_t off = 0; off + p.page_size <= image.size();
+       off += p.page_size) {
+    if (fmt.HasMagic(image.data() + off)) offsets.push_back(off);
+  }
+  return offsets;
+}
+
+void RepairChecksumMaybe(const PageLayoutParams& p, uint8_t* page, Rng* rng) {
+  // A coin flip keeps both oracle paths hot: repaired pages exercise the
+  // full parse pipeline, unrepaired ones the checksum-failure handling.
+  if (rng->Bernoulli(0.5)) PageFormatter(p).UpdateChecksum(page);
+}
+
+void MutateTruncate(const CarverConfig& config, Rng* rng, Bytes* image) {
+  if (image->empty()) return;
+  size_t page = config.params.page_size;
+  // Cut anywhere from 1 byte to just under two pages off the tail, so the
+  // final page is torn mid-header, mid-record, or mid-slot-directory.
+  size_t max_cut = std::min(image->size(), 2 * static_cast<size_t>(page));
+  size_t cut = static_cast<size_t>(rng->Uniform(1,
+      static_cast<int64_t>(max_cut)));
+  image->resize(image->size() - cut);
+}
+
+void MutateTornPage(const CarverConfig& config, Rng* rng, Bytes* image) {
+  std::vector<size_t> pages = FindAlignedPages(config, *image);
+  if (pages.empty()) return;
+  const PageLayoutParams& p = config.params;
+  size_t off = rng->Pick(pages);
+  // Overwrite a tail slice of the page with noise, as if the sector write
+  // stopped partway. No checksum repair: torn pages are torn.
+  size_t torn = static_cast<size_t>(
+      rng->Uniform(1, static_cast<int64_t>(p.page_size / 2)));
+  for (size_t i = p.page_size - torn; i < p.page_size; ++i) {
+    (*image)[off + i] = static_cast<uint8_t>(rng->NextU64());
+  }
+}
+
+void MutateBitFlipRandom(Rng* rng, Bytes* image) {
+  if (image->empty()) return;
+  size_t flips = static_cast<size_t>(rng->Uniform(1, 32));
+  for (size_t i = 0; i < flips; ++i) {
+    size_t pos = static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(image->size()) - 1));
+    (*image)[pos] ^= static_cast<uint8_t>(1u << (rng->NextU64() % 8));
+  }
+}
+
+void MutateHeaderFlip(const CarverConfig& config, Rng* rng, Bytes* image) {
+  std::vector<size_t> pages = FindAlignedPages(config, *image);
+  if (pages.empty()) return;
+  const PageLayoutParams& p = config.params;
+  size_t off = rng->Pick(pages);
+  uint8_t* page = image->data() + off;
+  // Each target is a (field offset, width) pair inside the page header.
+  const std::pair<uint16_t, size_t> fields[] = {
+      {p.magic_offset, p.magic.size()}, {p.page_id_offset, 4},
+      {p.object_id_offset, 4},          {p.page_type_offset, 1},
+      {p.record_count_offset, 2},       {p.free_space_offset, 2},
+      {p.next_page_offset, 4},          {p.lsn_offset, 8},
+  };
+  const auto& [field_off, width] =
+      fields[rng->NextU64() % (sizeof(fields) / sizeof(fields[0]))];
+  for (size_t i = 0; i < width; ++i) {
+    page[field_off + i] = static_cast<uint8_t>(rng->NextU64());
+  }
+  RepairChecksumMaybe(p, page, rng);
+}
+
+void MutateSlotCorrupt(const CarverConfig& config, Rng* rng, Bytes* image) {
+  std::vector<size_t> pages = FindAlignedPages(config, *image);
+  if (pages.empty()) return;
+  const PageLayoutParams& p = config.params;
+  size_t off = rng->Pick(pages);
+  uint8_t* page = image->data() + off;
+  // A record count near page_size/2 passes the carver's plausibility probe
+  // while claiming far more slot entries than the page can hold — exactly
+  // the shape that once drove GetSlot past the image end.
+  uint16_t hostile_count = static_cast<uint16_t>(
+      rng->Uniform(1, static_cast<int64_t>(p.page_size / 2)));
+  WriteU16(page + p.record_count_offset, hostile_count, p.big_endian);
+  size_t scribbles = static_cast<size_t>(rng->Uniform(1, 6));
+  for (size_t i = 0; i < scribbles; ++i) {
+    // Scribble u16s over the slot-directory region (either end works: the
+    // values, not the placement, are what the parser must survive).
+    size_t pos = p.header_size +
+                 static_cast<size_t>(rng->Uniform(
+                     0, static_cast<int64_t>(p.page_size - p.header_size) -
+                            2));
+    WriteU16(page + pos, static_cast<uint16_t>(rng->NextU64()),
+             p.big_endian);
+  }
+  RepairChecksumMaybe(p, page, rng);
+}
+
+void MutateLengthOverflow(const CarverConfig& config, Rng* rng,
+                          Bytes* image) {
+  std::vector<size_t> pages = FindAlignedPages(config, *image);
+  if (pages.empty()) return;
+  const PageLayoutParams& p = config.params;
+  size_t off = rng->Pick(pages);
+  uint8_t* page = image->data() + off;
+  // Find record markers in the data region and stomp overflowing values
+  // shortly after them — that is where row ids, record lengths and column
+  // counts live in every dialect's record header.
+  size_t stomps = static_cast<size_t>(rng->Uniform(1, 4));
+  size_t start = p.header_size;
+  for (size_t s = 0; s < stomps; ++s) {
+    for (size_t i = start; i + 12 < p.page_size; ++i) {
+      if (page[i] != p.active_marker) continue;
+      size_t field = i + 1 + (rng->NextU64() % 10);
+      WriteU16(page + field, static_cast<uint16_t>(0xFF00 | rng->NextU64()),
+               p.big_endian);
+      start = i + 1;
+      break;
+    }
+  }
+  // Also point a slot at the far end of the page: an in-range offset whose
+  // record, if trusted, would run past the page.
+  uint16_t count = PageFormatter(p).RecordCount(page);
+  if (count > 0 && count < p.page_size / 2) {
+    size_t slot_pos =
+        p.slot_placement == SlotPlacement::kFrontSlotsBackData
+            ? p.header_size +
+                  (rng->NextU64() % count) * p.SlotEntrySize()
+            : p.page_size -
+                  ((rng->NextU64() % count) + 1) * p.SlotEntrySize();
+    if (slot_pos + 2 <= p.page_size) {
+      WriteU16(page + slot_pos, static_cast<uint16_t>(p.page_size - 3),
+               p.big_endian);
+    }
+  }
+  RepairChecksumMaybe(p, page, rng);
+}
+
+void MutateGarbageSplice(const CarverConfig& config, Rng* rng,
+                         Bytes* image) {
+  if (image->empty()) return;
+  size_t page = config.params.page_size;
+  size_t len = static_cast<size_t>(
+      rng->Uniform(16, static_cast<int64_t>(2 * page)));
+  len = std::min(len, image->size());
+  size_t pos = static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(image->size() - len)));
+  static const char kNoise[] =
+      "lorem ipsum dolor sit amet 0x00 SELECT * FROM tapes; ";
+  for (size_t i = 0; i < len; ++i) {
+    (*image)[pos + i] =
+        static_cast<uint8_t>(kNoise[(pos + i) % (sizeof(kNoise) - 1)]);
+  }
+}
+
+void MutatePageSwap(const CarverConfig& config, Rng* rng, Bytes* image) {
+  std::vector<size_t> pages = FindAlignedPages(config, *image);
+  if (pages.size() < 2) return;
+  size_t a = rng->Pick(pages);
+  size_t b = rng->Pick(pages);
+  if (a == b) return;
+  size_t page = config.params.page_size;
+  for (size_t i = 0; i < page; ++i) {
+    std::swap((*image)[a + i], (*image)[b + i]);
+  }
+}
+
+void MutateWipeRepair(const CarverConfig& config, Bytes* image) {
+  // Our own anti-forensic tooling turned against us: a checksum-repaired
+  // wipe of whatever the (possibly already-mutated) image still carves as.
+  // A wipe that fails leaves the image as-is — the no-op fallback.
+  Wiper wiper(config);
+  Result<WipeReport> report = wiper.WipeImage(image);
+  if (!report.ok()) return;
+}
+
+void MutateStegInject(const CarverConfig& config, Rng* rng, Bytes* image) {
+  std::vector<size_t> pages = FindAlignedPages(config, *image);
+  if (pages.empty()) return;
+  const PageLayoutParams& p = config.params;
+  PageFormatter fmt(p);
+  size_t off = rng->Pick(pages);
+  uint8_t* page = image->data() + off;
+  if (fmt.TypeOf(page) != PageType::kData) return;
+  // Forge a record through the real formatter so it parses cleanly, with
+  // an arity no table of this image uses — a hidden row the schema pass
+  // cannot attribute. The formatter's hardened bounds checks decide
+  // whether the (possibly corrupted) page can take it.
+  TableSchema schema;
+  schema.name = "steg";
+  schema.columns = {{"k", ColumnType::kInt, 0, false},
+                    {"v", ColumnType::kVarchar, 24, false}};
+  Record row = {Value::Int(static_cast<int64_t>(rng->NextU64() % 1000)),
+                Value::Str(rng->Word(12))};
+  Result<Bytes> encoded = fmt.EncodeRecord(schema, row, rng->NextU64());
+  if (!encoded.ok()) return;
+  Result<uint16_t> slot = fmt.InsertRecordBytes(page, *encoded);
+  if (!slot.ok()) return;
+  // Steganographic rows must stay hidden: always repair the checksum.
+  fmt.UpdateChecksum(page);
+}
+
+}  // namespace
+
+const char* MutatorKindName(MutatorKind kind) {
+  size_t i = static_cast<size_t>(kind);
+  return i < kMutatorKindCount ? kMutatorNames[i] : "unknown";
+}
+
+Result<MutatorKind> MutatorKindFromName(const std::string& name) {
+  for (size_t i = 0; i < kMutatorKindCount; ++i) {
+    if (name == kMutatorNames[i]) return static_cast<MutatorKind>(i);
+  }
+  return Status::InvalidArgument("unknown mutator: " + name);
+}
+
+std::string Mutation::ToString() const {
+  return StrFormat("%s:%llu", MutatorKindName(kind),
+                   static_cast<unsigned long long>(seed));
+}
+
+Result<Mutation> MutationFromString(const std::string& text) {
+  size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("bad mutation: " + text);
+  }
+  Mutation m;
+  DBFA_ASSIGN_OR_RETURN(m.kind, MutatorKindFromName(text.substr(0, colon)));
+  std::string seed_text = text.substr(colon + 1);
+  if (seed_text.empty()) {
+    return Status::InvalidArgument("bad mutation seed: " + text);
+  }
+  uint64_t seed = 0;
+  for (char c : seed_text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad mutation seed: " + text);
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (seed > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("mutation seed overflow: " + text);
+    }
+    seed = seed * 10 + digit;
+  }
+  m.seed = seed;
+  return m;
+}
+
+std::string MutationListToString(const std::vector<Mutation>& mutations) {
+  std::string out;
+  for (size_t i = 0; i < mutations.size(); ++i) {
+    if (i > 0) out += ",";
+    out += mutations[i].ToString();
+  }
+  return out;
+}
+
+Result<std::vector<Mutation>> MutationListFromString(
+    const std::string& text) {
+  std::vector<Mutation> out;
+  for (const std::string& tok : Split(text, ',')) {
+    std::string t(Trim(tok));
+    if (t.empty()) continue;
+    DBFA_ASSIGN_OR_RETURN(Mutation m, MutationFromString(t));
+    out.push_back(m);
+  }
+  return out;
+}
+
+void ApplyMutation(const CarverConfig& config, const Mutation& mutation,
+                   Bytes* image) {
+  Rng rng(mutation.seed ^ 0x6d75746174655f5fULL);
+  switch (mutation.kind) {
+    case MutatorKind::kTruncate:
+      MutateTruncate(config, &rng, image);
+      break;
+    case MutatorKind::kTornPage:
+      MutateTornPage(config, &rng, image);
+      break;
+    case MutatorKind::kBitFlipRandom:
+      MutateBitFlipRandom(&rng, image);
+      break;
+    case MutatorKind::kHeaderFlip:
+      MutateHeaderFlip(config, &rng, image);
+      break;
+    case MutatorKind::kSlotCorrupt:
+      MutateSlotCorrupt(config, &rng, image);
+      break;
+    case MutatorKind::kLengthOverflow:
+      MutateLengthOverflow(config, &rng, image);
+      break;
+    case MutatorKind::kGarbageSplice:
+      MutateGarbageSplice(config, &rng, image);
+      break;
+    case MutatorKind::kPageSwap:
+      MutatePageSwap(config, &rng, image);
+      break;
+    case MutatorKind::kWipeRepair:
+      MutateWipeRepair(config, image);
+      break;
+    case MutatorKind::kStegInject:
+      MutateStegInject(config, &rng, image);
+      break;
+  }
+}
+
+void ApplyMutations(const CarverConfig& config,
+                    const std::vector<Mutation>& mutations, Bytes* image) {
+  for (const Mutation& m : mutations) ApplyMutation(config, m, image);
+}
+
+}  // namespace dbfa

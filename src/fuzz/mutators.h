@@ -1,0 +1,77 @@
+// Adversarial image mutators: the attack taxonomy the fuzzing campaign
+// draws from (docs/fuzzing.md). Each mutator is deterministic in its
+// (config, mutation) pair and mutates a carved-image byte buffer in place,
+// modelling a concrete anti-forensic move — torn writes, checksum-repaired
+// header tampering, wiping with our own tooling, steganographic rows.
+#ifndef DBFA_FUZZ_MUTATORS_H_
+#define DBFA_FUZZ_MUTATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/config_io.h"
+
+namespace dbfa {
+
+enum class MutatorKind : uint8_t {
+  /// Cut the image short mid-page (power loss / partial acquisition).
+  kTruncate = 0,
+  /// Overwrite the tail of one page with noise (torn write).
+  kTornPage,
+  /// Flip random bits anywhere in the image.
+  kBitFlipRandom,
+  /// Scribble over one header field of one page; sometimes repairs the
+  /// checksum afterwards (the careful attacker of Section III).
+  kHeaderFlip,
+  /// Forge a hostile-but-plausible record count and scramble slot entries.
+  kSlotCorrupt,
+  /// Stomp overflowing values onto record length/offset fields.
+  kLengthOverflow,
+  /// Overwrite an unaligned run with printable garbage (reused sectors).
+  kGarbageSplice,
+  /// Swap two whole pages (out-of-order sector writes).
+  kPageSwap,
+  /// Run the antiforensic Wiper over the image: checksum-repaired erasure.
+  kWipeRepair,
+  /// Inject a forged record through the real formatter and re-checksum.
+  kStegInject,
+};
+
+inline constexpr size_t kMutatorKindCount = 10;
+
+const char* MutatorKindName(MutatorKind kind);
+Result<MutatorKind> MutatorKindFromName(const std::string& name);
+
+/// One mutation step: a mutator plus the seed that fixes all its choices.
+struct Mutation {
+  MutatorKind kind = MutatorKind::kBitFlipRandom;
+  uint64_t seed = 0;
+
+  bool operator==(const Mutation& other) const {
+    return kind == other.kind && seed == other.seed;
+  }
+  /// "header_flip:12345"
+  std::string ToString() const;
+};
+
+Result<Mutation> MutationFromString(const std::string& text);
+
+/// Comma-joined list form, e.g. "truncate:7,wipe_repair:9".
+std::string MutationListToString(const std::vector<Mutation>& mutations);
+Result<std::vector<Mutation>> MutationListFromString(const std::string& text);
+
+/// Applies one mutation in place. Deterministic in (config, mutation,
+/// image). Mutations that do not apply to the image at hand (e.g. wiping
+/// an image with no recognizable pages) degrade to a no-op rather than
+/// failing, so any mutation list can be replayed against any image.
+void ApplyMutation(const CarverConfig& config, const Mutation& mutation,
+                   Bytes* image);
+void ApplyMutations(const CarverConfig& config,
+                    const std::vector<Mutation>& mutations, Bytes* image);
+
+}  // namespace dbfa
+
+#endif  // DBFA_FUZZ_MUTATORS_H_

@@ -1,0 +1,173 @@
+#include "fuzz/oracle.h"
+
+#include <atomic>
+#include <filesystem>
+
+#include "common/strings.h"
+#include "core/carver.h"
+#include "core/parallel_carver.h"
+#include "detective/dbdetective.h"
+#include "snapshot/snapshot_repo.h"
+
+namespace dbfa {
+namespace {
+
+/// Sequence number for throwaway snapshot-repo directories: unique within
+/// the process, deterministic across runs (no clock, no pid).
+std::atomic<uint64_t> g_scratch_seq{0};
+
+std::string EnvelopeViolation(const char* what, size_t mutant_n,
+                              size_t bound) {
+  return StrFormat("%s escaped the envelope: %zu > bound %zu", what,
+                   mutant_n, bound);
+}
+
+}  // namespace
+
+std::string DescribeCarveDifference(const CarveResult& a,
+                                    const CarveResult& b) {
+  if (a.pages != b.pages) {
+    return StrFormat("pages differ (%zu vs %zu)", a.pages.size(),
+                     b.pages.size());
+  }
+  if (a.records != b.records) {
+    return StrFormat("records differ (%zu vs %zu)", a.records.size(),
+                     b.records.size());
+  }
+  if (a.index_entries != b.index_entries) {
+    return StrFormat("index entries differ (%zu vs %zu)",
+                     a.index_entries.size(), b.index_entries.size());
+  }
+  if (a.catalog_entries != b.catalog_entries) {
+    return StrFormat("catalog entries differ (%zu vs %zu)",
+                     a.catalog_entries.size(), b.catalog_entries.size());
+  }
+  if (a.schemas != b.schemas) return "schemas differ";
+  if (a.indexes != b.indexes) return "index metadata differs";
+  if (a.dropped_objects != b.dropped_objects) {
+    return "dropped-object sets differ";
+  }
+  return "";
+}
+
+std::string CheckMutant(const CarverConfig& config, ByteView mutant,
+                        const CarveResult* clean,
+                        const OracleOptions& options) {
+  // 1. The serial carve: any Status is legal (that IS the contract for
+  // hostile bytes); from here on the result must behave.
+  Carver serial(config);
+  Result<CarveResult> carve = serial.Carve(mutant);
+  if (!carve.ok()) return "";
+
+  // 2. Parallel output must stay byte-identical to serial at every
+  // thread count, even over corrupted input.
+  if (options.check_parallel) {
+    for (size_t threads : options.thread_counts) {
+      CarveOptions popts;
+      popts.num_threads = threads;
+      Result<CarveResult> par =
+          ParallelCarver(config, popts).Carve(mutant);
+      if (!par.ok()) {
+        return StrFormat("parallel(%zu) failed where serial succeeded: %s",
+                         threads, par.status().ToString().c_str());
+      }
+      std::string diff = DescribeCarveDifference(*carve, *par);
+      if (!diff.empty()) {
+        return StrFormat("parallel(%zu) diverged from serial: %s", threads,
+                         diff.c_str());
+      }
+    }
+  }
+
+  // 3. Accepted artifacts must stay inside the declared envelope of the
+  // clean baseline: mutation can hide evidence, not mint it wholesale.
+  if (clean != nullptr) {
+    const ArtifactEnvelope& env = options.envelope;
+    size_t page_bound = clean->pages.size() + env.page_slack;
+    if (carve->pages.size() > page_bound) {
+      return EnvelopeViolation("pages", carve->pages.size(), page_bound);
+    }
+    size_t record_bound =
+        static_cast<size_t>(
+            static_cast<double>(clean->records.size()) *
+            (1.0 + env.record_factor)) +
+        env.record_slack;
+    if (carve->records.size() > record_bound) {
+      return EnvelopeViolation("records", carve->records.size(),
+                               record_bound);
+    }
+    size_t index_bound =
+        clean->index_entries.size() * (100 + env.index_factor_percent) /
+            100 +
+        env.index_slack;
+    if (carve->index_entries.size() > index_bound) {
+      return EnvelopeViolation("index entries", carve->index_entries.size(),
+                               index_bound);
+    }
+    // Page detection can never outrun the image itself.
+    if (config.params.page_size > 0) {
+      size_t ceiling = mutant.size() / config.params.page_size + 1;
+      if (carve->pages.size() > ceiling) {
+        return EnvelopeViolation("pages (vs image size)",
+                                 carve->pages.size(), ceiling);
+      }
+    }
+  }
+
+  // 4. Snapshot round-trip: ingesting the mutant and re-assembling it must
+  // reproduce the fresh serial carve exactly (or fail with a Status).
+  if (!options.snapshot_scratch_dir.empty()) {
+    uint64_t seq = g_scratch_seq.fetch_add(1);
+    std::filesystem::path dir =
+        std::filesystem::path(options.snapshot_scratch_dir) /
+        StrFormat("oracle_%llu", static_cast<unsigned long long>(seq));
+    std::string violation;
+    {
+      Result<std::unique_ptr<SnapshotRepo>> repo =
+          SnapshotRepo::Create(dir.string(), config, CarveOptions{});
+      if (!repo.ok()) {
+        violation = StrFormat("snapshot repo create failed: %s",
+                              repo.status().ToString().c_str());
+      } else if (Result<IngestStats> ingest = (*repo)->Ingest(mutant);
+                 ingest.ok()) {
+        Result<CarveResult> assembled = (*repo)->AssembleCarve(1);
+        if (!assembled.ok()) {
+          violation =
+              StrFormat("Ingest succeeded but AssembleCarve failed: %s",
+                        assembled.status().ToString().c_str());
+        } else {
+          std::string diff = DescribeCarveDifference(*carve, *assembled);
+          if (!diff.empty()) {
+            violation = StrFormat(
+                "snapshot round-trip diverged from fresh carve: %s",
+                diff.c_str());
+          }
+        }
+      }
+      // An Ingest Status error is a legal outcome for hostile bytes.
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    if (!violation.empty()) return violation;
+  }
+
+  // 5. The detective must take any carve of hostile bytes in stride:
+  // a report or a Status, never a fault, and never more unattributed
+  // modifications than there are carved records.
+  if (options.audit_log != nullptr) {
+    DbDetective detective(&*carve, options.audit_log);
+    Result<DetectiveReport> report = detective.Analyze();
+    if (report.ok() &&
+        report->modifications.size() >
+            carve->records.size() + carve->catalog_entries.size()) {
+      return StrFormat("detective invented modifications: %zu from %zu "
+                       "carved records",
+                       report->modifications.size(),
+                       carve->records.size());
+    }
+  }
+
+  return "";
+}
+
+}  // namespace dbfa

@@ -1,0 +1,62 @@
+// The campaign oracle: what "survived hostile bytes" means. A mutant
+// passes when every consumer yields a clean Status or a bounded result —
+// never a crash — and the deterministic contracts (parallel == serial,
+// snapshot round-trip == fresh carve) still hold (docs/fuzzing.md).
+#ifndef DBFA_FUZZ_ORACLE_H_
+#define DBFA_FUZZ_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/artifacts.h"
+#include "core/config_io.h"
+#include "engine/audit_log.h"
+
+namespace dbfa {
+
+/// How far a mutant's accepted artifacts may drift from the clean
+/// baseline. Mutation can only remove or orphan content; a raw-scan pass
+/// may resurface a bounded number of fragments, never mint pages beyond
+/// the image or multiply records without limit.
+struct ArtifactEnvelope {
+  /// Mutant pages <= clean pages + page_slack (a splice can at most forge
+  /// a handful of plausible headers per campaign-sized image).
+  size_t page_slack = 8;
+  /// Mutant records <= clean * (1 + record_factor) + record_slack: slot
+  /// corruption can split records into orphan fragments, but bounded.
+  double record_factor = 1.0;
+  size_t record_slack = 64;
+  size_t index_factor_percent = 100;
+  size_t index_slack = 64;
+};
+
+struct OracleOptions {
+  /// Parallel carves must be byte-identical to serial at each count.
+  std::vector<size_t> thread_counts = {1, 2, 8};
+  bool check_parallel = true;
+  ArtifactEnvelope envelope;
+  /// When non-empty, Ingest+AssembleCarve round-trips the mutant through a
+  /// throwaway snapshot repo under this directory.
+  std::string snapshot_scratch_dir;
+  /// When set, DbDetective::Analyze runs over the mutant carve against
+  /// this log; any Status outcome is legal, crashes are not.
+  const AuditLog* audit_log = nullptr;
+};
+
+/// Compares the artifact collections of two carve results (stats are
+/// excluded by contract). Returns "" when identical, else a short
+/// description of the first difference.
+std::string DescribeCarveDifference(const CarveResult& a,
+                                    const CarveResult& b);
+
+/// Runs the full oracle over one mutant image. `clean` is the carve of the
+/// unmutated baseline (nullptr skips envelope checks). Returns "" when the
+/// mutant passes, else a violation description.
+std::string CheckMutant(const CarverConfig& config, ByteView mutant,
+                        const CarveResult* clean,
+                        const OracleOptions& options);
+
+}  // namespace dbfa
+
+#endif  // DBFA_FUZZ_ORACLE_H_

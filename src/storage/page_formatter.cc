@@ -162,9 +162,17 @@ const uint8_t* PageFormatter::SlotAddress(const uint8_t* page,
   return SlotAddress(const_cast<uint8_t*>(page), slot);
 }
 
+bool PageFormatter::SlotInBounds(uint16_t slot) const {
+  // Both placements keep slot `s` within [header_size, page_size) iff the
+  // first s+1 entries fit between the header and the page end.
+  return p_.header_size + (static_cast<size_t>(slot) + 1) * p_.SlotEntrySize() <=
+         p_.page_size;
+}
+
 std::optional<SlotInfo> PageFormatter::GetSlot(const uint8_t* page,
                                                uint16_t slot) const {
   if (slot >= RecordCount(page)) return std::nullopt;
+  if (!SlotInBounds(slot)) return std::nullopt;
   const uint8_t* entry = SlotAddress(page, slot);
   uint16_t raw = ReadU16(entry, p_.big_endian);
   SlotInfo info;
@@ -176,6 +184,7 @@ std::optional<SlotInfo> PageFormatter::GetSlot(const uint8_t* page,
 
 void PageFormatter::SetSlotTombstone(uint8_t* page, uint16_t slot,
                                      bool tombstoned) const {
+  if (!SlotInBounds(slot)) return;
   uint8_t* entry = SlotAddress(page, slot);
   uint16_t raw = ReadU16(entry, p_.big_endian);
   if (tombstoned) {
@@ -190,6 +199,12 @@ size_t PageFormatter::FreeSpace(const uint8_t* page) const {
   uint16_t count = RecordCount(page);
   uint16_t boundary = FreeBoundary(page);
   size_t entry = p_.SlotEntrySize();
+  // On a carved (hostile) page both fields are attacker-controlled: a
+  // boundary past the page end or a slot directory larger than the page
+  // would otherwise place the next record or slot entry out of bounds.
+  // Reporting the page as full keeps every insertion in range.
+  if (boundary > p_.page_size) return 0;
+  if (p_.header_size + (count + 1ull) * entry > p_.page_size) return 0;
   if (p_.slot_placement == SlotPlacement::kFrontSlotsBackData) {
     size_t slots_end = p_.header_size + (count + 1ull) * entry;
     return boundary > slots_end ? boundary - slots_end : 0;

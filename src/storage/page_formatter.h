@@ -206,6 +206,10 @@ class PageFormatter {
 
   uint8_t* SlotAddress(uint8_t* page, uint16_t slot) const;
   const uint8_t* SlotAddress(const uint8_t* page, uint16_t slot) const;
+  /// True when slot entry `slot` lies fully inside the page. A carved page's
+  /// record count is attacker-controlled, so every slot access must pass
+  /// this check before touching SlotAddress.
+  bool SlotInBounds(uint16_t slot) const;
   void SetRecordCount(uint8_t* page, uint16_t n) const;
   void SetFreeBoundary(uint8_t* page, uint16_t b) const;
 

@@ -67,9 +67,13 @@ const char* PointerFormatName(PointerFormat f) {
 }
 
 Status PageLayoutParams::Validate() const {
-  if (page_size < 512 || (page_size & (page_size - 1)) != 0) {
-    return Status::InvalidArgument(
-        StrFormat("page_size %u must be a power of two >= 512", page_size));
+  // The upper bound is load-bearing: slot offsets, free boundaries and raw
+  // record-scan positions all travel as uint16_t, so a page larger than
+  // 32 KiB would let in-range 16-bit offsets alias out-of-page addresses.
+  if (page_size < 512 || page_size > 32768 ||
+      (page_size & (page_size - 1)) != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "page_size %u must be a power of two in [512, 32768]", page_size));
   }
   if (magic.empty() || magic.size() > 4) {
     return Status::InvalidArgument("magic must be 1-4 bytes");

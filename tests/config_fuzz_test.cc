@@ -1,0 +1,169 @@
+// Hostile carver-config files (ISSUE 6 satellite): the text format parses
+// to a clear Status or a validated config — never a crash, never a
+// partial-state config that would carve with different parameters than
+// the analyst believes they loaded.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/config_io.h"
+#include "storage/dialects.h"
+
+namespace dbfa {
+namespace {
+
+std::string ValidText() {
+  CarverConfig config;
+  auto params = GetDialect("postgres_like");
+  EXPECT_TRUE(params.ok());
+  config.params = *params;
+  return ConfigToText(config);
+}
+
+std::string ReplaceLine(const std::string& text, const std::string& key,
+                        const std::string& replacement) {
+  std::string out;
+  for (const std::string& line : Split(text, '\n')) {
+    if (line.rfind(key + " =", 0) == 0) {
+      if (!replacement.empty()) out += replacement + "\n";
+    } else if (!line.empty()) {
+      out += line + "\n";
+    }
+  }
+  return out;
+}
+
+TEST(ConfigFuzz, AllBuiltinDialectsRoundTrip) {
+  for (const PageLayoutParams& params : AllDialects()) {
+    CarverConfig config;
+    config.params = params;
+    config.catalog_object_id = 7;
+    auto parsed = ConfigFromText(ConfigToText(config));
+    ASSERT_TRUE(parsed.ok()) << params.dialect << ": "
+                             << parsed.status().ToString();
+    EXPECT_TRUE(parsed->ForensicallyEquivalent(config)) << params.dialect;
+    EXPECT_EQ(parsed->params, params) << params.dialect;
+  }
+}
+
+TEST(ConfigFuzz, HostileValuesAreRejectedNotTruncated) {
+  const std::string text = ValidText();
+  const struct {
+    const char* key;
+    const char* line;
+  } cases[] = {
+      {"page_size", "page_size = 0"},
+      {"page_size", "page_size = 1"},
+      {"page_size", "page_size = 100000"},       // not a power of two
+      {"page_size", "page_size = 65536"},        // above the u16 cap
+      {"page_size", "page_size = 4294971392"},   // truncates to 4096
+      {"page_size", "page_size = -8192"},
+      {"page_size", "page_size = 99999999999999999999999"},
+      {"page_size", "page_size = 0x2000"},
+      {"page_size", "page_size ="},
+      {"magic", "magic = GG ZZ"},
+      {"magic", "magic ="},
+      {"magic", "magic = DE AD BE EF 55"},       // 5 bytes, max is 4
+      {"magic_offset", "magic_offset = 70000"},  // > u16
+      {"header_size", "header_size = 9999"},     // >= page_size / 4
+      {"checksum_kind", "checksum_kind = md5"},
+      {"checksum_offset", "checksum_offset = 8190"},  // past header
+      {"big_endian", "big_endian = true"},       // strict 0/1
+      {"big_endian", "big_endian = 2"},
+      {"active_marker", "active_marker = xyz"},
+      {"active_marker", "active_marker = 1FF"},
+      {"slot_placement", "slot_placement = sideways"},
+      {"delete_strategy", "delete_strategy = shred"},
+      {"pointer_format", "pointer_format = u128"},
+      {"string_mode", "string_mode = utf7"},
+      {"catalog_object_id", "catalog_object_id = 99999999999"},
+  };
+  for (const auto& c : cases) {
+    auto parsed = ConfigFromText(ReplaceLine(text, c.key, c.line));
+    EXPECT_FALSE(parsed.ok()) << "accepted hostile line: " << c.line;
+  }
+}
+
+TEST(ConfigFuzz, StructuralDamageIsRejected) {
+  const std::string text = ValidText();
+  // A line with no '=':
+  EXPECT_FALSE(ConfigFromText(text + "stray token\n").ok());
+  // An empty key:
+  EXPECT_FALSE(ConfigFromText(text + "= orphan value\n").ok());
+  // Unknown keys must not be silently ignored:
+  EXPECT_FALSE(ConfigFromText(text + "page_siez = 4096\n").ok());
+  // Duplicate keys are ambiguous, not last-wins:
+  EXPECT_FALSE(ConfigFromText(text + "page_size = 8192\n").ok());
+  // A missing key:
+  EXPECT_FALSE(ConfigFromText(ReplaceLine(text, "dialect", "")).ok());
+  // Binary garbage:
+  EXPECT_FALSE(ConfigFromText("\x01\x02\xff\xfe = \x7f\n").ok());
+  // Empty input:
+  EXPECT_FALSE(ConfigFromText("").ok());
+  // Comments and blank lines alone:
+  EXPECT_FALSE(ConfigFromText("# just a comment\n\n").ok());
+}
+
+TEST(ConfigFuzz, SeededTextMutationsNeverCrashAndParseFixpoints) {
+  const std::string text = ValidText();
+  Rng rng(20260808);
+  size_t accepted = 0;
+  for (int iter = 0; iter < 600; ++iter) {
+    std::string mutated = text;
+    size_t edits = static_cast<size_t>(rng.Uniform(1, 4));
+    for (size_t e = 0; e < edits; ++e) {
+      if (mutated.empty()) break;
+      switch (rng.NextU64() % 4) {
+        case 0: {  // scramble one character
+          size_t pos = static_cast<size_t>(rng.Uniform(
+              0, static_cast<int64_t>(mutated.size()) - 1));
+          mutated[pos] = static_cast<char>(rng.Uniform(1, 126));
+          break;
+        }
+        case 1: {  // delete a run
+          size_t pos = static_cast<size_t>(rng.Uniform(
+              0, static_cast<int64_t>(mutated.size()) - 1));
+          size_t len = static_cast<size_t>(rng.Uniform(1, 12));
+          mutated.erase(pos, len);
+          break;
+        }
+        case 2: {  // duplicate a slice somewhere else
+          size_t pos = static_cast<size_t>(rng.Uniform(
+              0, static_cast<int64_t>(mutated.size()) - 1));
+          size_t len = std::min<size_t>(
+              static_cast<size_t>(rng.Uniform(1, 20)),
+              mutated.size() - pos);
+          mutated.insert(
+              static_cast<size_t>(
+                  rng.Uniform(0, static_cast<int64_t>(mutated.size()))),
+              mutated.substr(pos, len));
+          break;
+        }
+        default: {  // inject noise
+          mutated.insert(
+              static_cast<size_t>(
+                  rng.Uniform(0, static_cast<int64_t>(mutated.size()))),
+              rng.Word(6));
+          break;
+        }
+      }
+    }
+    auto parsed = ConfigFromText(mutated);
+    if (!parsed.ok()) continue;
+    ++accepted;
+    // Whatever survived must be a *validated* config whose print/parse
+    // round-trip is a fixpoint — no partial state.
+    ASSERT_TRUE(parsed->params.Validate().ok());
+    auto reparsed = ConfigFromText(ConfigToText(*parsed));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed->params, parsed->params);
+    EXPECT_EQ(reparsed->catalog_object_id, parsed->catalog_object_id);
+  }
+  // The corpus of mutants must exercise both outcomes.
+  EXPECT_LT(accepted, 600u);
+}
+
+}  // namespace
+}  // namespace dbfa

@@ -1,0 +1,76 @@
+// Replays every committed corpus entry (tests/corpus/) as its own test:
+// a carver regression fails the ctest named after the exact adversarial
+// artifact that caught it. DBFA_CORPUS_DIR is injected by CMake.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "fuzz/mutators.h"
+
+namespace dbfa {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> Sidecars() {
+  auto list = ListCorpusSidecars(DBFA_CORPUS_DIR);
+  return list.ok() ? *list : std::vector<std::string>{};
+}
+
+std::string ScratchDir() {
+  fs::path dir = fs::path(::testing::TempDir()) / "corpus_replay_scratch";
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+class ReplayCorpus : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ReplayCorpus, Entry) {
+  Status s = ReplayCorpusEntry(GetParam(), ScratchDir());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+std::string EntryName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = fs::path(info.param).stem().string();
+  for (char& c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ReplayCorpus,
+                         ::testing::ValuesIn(Sidecars()), EntryName);
+
+// The acceptance bar for the committed corpus itself: enough entries, and
+// the two attack classes the paper centres on are represented.
+TEST(CorpusInventory, MeetsTheAcceptanceBar) {
+  std::vector<std::string> sidecars = Sidecars();
+  ASSERT_GE(sidecars.size(), 12u)
+      << "committed corpus shrank below 12 entries";
+  bool has_wipe_repair = false;
+  bool has_confusion = false;
+  for (const std::string& sidecar : sidecars) {
+    auto entry = LoadCorpusEntry(sidecar);
+    ASSERT_TRUE(entry.ok()) << sidecar << ": "
+                            << entry.status().ToString();
+    // The committed image must exist and stay small (it is in git).
+    fs::path image = fs::path(sidecar).parent_path() /
+                     (entry->name + ".img");
+    ASSERT_TRUE(fs::exists(image)) << image;
+    EXPECT_LE(fs::file_size(image), 512u * 1024u) << image;
+    for (const Mutation& m : entry->mutations) {
+      if (m.kind == MutatorKind::kWipeRepair) has_wipe_repair = true;
+    }
+    if (!entry->confusion_dialect.empty()) has_confusion = true;
+  }
+  EXPECT_TRUE(has_wipe_repair)
+      << "no wiped+checksum-repaired corpus entry";
+  EXPECT_TRUE(has_confusion) << "no dialect-confusion corpus entry";
+}
+
+}  // namespace
+}  // namespace dbfa

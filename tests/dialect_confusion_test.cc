@@ -1,0 +1,132 @@
+// Dialect-confusion matrix (ISSUE 6 satellite): every dialect's synthetic
+// image carved with every other dialect's config. The wrong config must
+// never crash and never misattribute evidence — zero accepted pages, zero
+// records, zero schemas — while the right config keeps finding everything.
+// Runs TSan-clean (label sanitize-fuzz) because the matrix also exercises
+// the parallel carver over foreign images.
+#include <gtest/gtest.h>
+
+#include "core/carver.h"
+#include "core/parallel_carver.h"
+#include "engine/catalog.h"
+#include "fuzz/campaign.h"
+#include "fuzz/mutators.h"
+#include "fuzz/oracle.h"
+#include "storage/dialects.h"
+
+namespace dbfa {
+namespace {
+
+class DialectConfusionTest : public ::testing::Test {
+ protected:
+  // One baseline image per dialect, built once for the whole suite.
+  static void SetUpTestSuite() {
+    baselines_ = new std::vector<BaselineImage>();
+    for (const std::string& dialect : BuiltinDialectNames()) {
+      auto baseline = BuildBaseline(dialect, 31, 14, 20);
+      ASSERT_TRUE(baseline.ok()) << dialect << ": "
+                                 << baseline.status().ToString();
+      baselines_->push_back(std::move(*baseline));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete baselines_;
+    baselines_ = nullptr;
+  }
+  static std::vector<BaselineImage>* baselines_;
+};
+
+std::vector<BaselineImage>* DialectConfusionTest::baselines_ = nullptr;
+
+TEST_F(DialectConfusionTest, WrongConfigFindsNothingRightConfigFindsAll) {
+  for (const BaselineImage& baseline : *baselines_) {
+    for (const BaselineImage& other : *baselines_) {
+      Result<CarveResult> cross =
+          Carver(other.config).Carve(baseline.image);
+      ASSERT_TRUE(cross.ok())
+          << other.config.params.dialect << " config crashed carving a "
+          << baseline.config.params.dialect << " image: "
+          << cross.status().ToString();
+      if (&baseline == &other) {
+        EXPECT_GT(cross->pages.size(), 0u);
+        EXPECT_GT(cross->records.size(), 0u);
+        continue;
+      }
+      // High-confidence misattribution would be accepted pages, records
+      // or schemas under a foreign config. The magic+sanity probe must
+      // reject every offset instead.
+      EXPECT_EQ(cross->pages.size(), 0u)
+          << other.config.params.dialect << " config accepted pages of a "
+          << baseline.config.params.dialect << " image";
+      EXPECT_EQ(cross->records.size(), 0u);
+      EXPECT_EQ(cross->schemas.size(), 0u);
+      EXPECT_EQ(cross->catalog_entries.size(), 0u);
+    }
+  }
+}
+
+TEST_F(DialectConfusionTest, ParallelMatchesSerialOnForeignImages) {
+  // The byte-identical contract must hold even when the config is wrong
+  // for the image — the degenerate all-rejected carve included.
+  const BaselineImage& image_owner = (*baselines_)[0];
+  for (const BaselineImage& other : *baselines_) {
+    Result<CarveResult> serial =
+        Carver(other.config).Carve(image_owner.image);
+    ASSERT_TRUE(serial.ok());
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+      CarveOptions options;
+      options.num_threads = threads;
+      Result<CarveResult> par =
+          ParallelCarver(other.config, options).Carve(image_owner.image);
+      ASSERT_TRUE(par.ok());
+      EXPECT_EQ(DescribeCarveDifference(*serial, *par), "")
+          << other.config.params.dialect << " at " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST_F(DialectConfusionTest, MultiConfigCarveSeparatesConcatenatedImage) {
+  // A disk holding two different dialects' files: each config must carve
+  // exactly its own dialect's pages out of the composite.
+  const BaselineImage& a = (*baselines_)[0];
+  const BaselineImage& b = (*baselines_)[1];
+  Bytes composite = a.image;
+  composite.insert(composite.end(), b.image.begin(), b.image.end());
+
+  std::vector<CarverConfig> configs = {a.config, b.config};
+  auto results = Carver::CarveMulti(composite, configs, CarveOptions{});
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].pages.size(), a.carve.pages.size());
+  EXPECT_EQ((*results)[1].pages.size(), b.carve.pages.size());
+  EXPECT_EQ((*results)[0].records.size(), a.carve.records.size());
+  EXPECT_EQ((*results)[1].records.size(), b.carve.records.size());
+
+  auto par = ParallelCarver::CarveMulti(composite, configs, CarveOptions{});
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(DescribeCarveDifference((*results)[0], (*par)[0]), "");
+  EXPECT_EQ(DescribeCarveDifference((*results)[1], (*par)[1]), "");
+}
+
+TEST_F(DialectConfusionTest, MutatedImagesStayUnconfused) {
+  // Even after adversarial mutation, a wrong config must not start
+  // accepting the evidence (no mutation can forge another dialect's
+  // magic at page scale by accident; a forged page would be a finding).
+  const BaselineImage& victim = (*baselines_)[2];
+  std::vector<Mutation> mutations = {{MutatorKind::kWipeRepair, 41},
+                                     {MutatorKind::kBitFlipRandom, 42},
+                                     {MutatorKind::kTornPage, 43}};
+  Bytes mutant = victim.image;
+  ApplyMutations(victim.config, mutations, &mutant);
+  for (const BaselineImage& other : *baselines_) {
+    if (&other == &victim) continue;
+    Result<CarveResult> cross = Carver(other.config).Carve(mutant);
+    ASSERT_TRUE(cross.ok());
+    EXPECT_EQ(cross->pages.size(), 0u) << other.config.params.dialect;
+    EXPECT_EQ(cross->records.size(), 0u) << other.config.params.dialect;
+  }
+}
+
+}  // namespace
+}  // namespace dbfa

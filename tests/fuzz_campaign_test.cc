@@ -1,0 +1,185 @@
+// The fuzzing subsystem's own contract: mutators are deterministic and
+// serializable, minimization shrinks to a failing core, baselines carve,
+// and a small campaign across representative dialects runs violation-free
+// (the full 10k-mutant sweep is dbfa_fuzz's job; CI runs --smoke).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/carver.h"
+#include "fuzz/campaign.h"
+#include "fuzz/mutators.h"
+#include "fuzz/oracle.h"
+#include "storage/dialects.h"
+
+namespace dbfa {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(Mutators, RoundTripNamesAndLists) {
+  for (size_t i = 0; i < kMutatorKindCount; ++i) {
+    MutatorKind kind = static_cast<MutatorKind>(i);
+    auto parsed = MutatorKindFromName(MutatorKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  std::vector<Mutation> list = {{MutatorKind::kWipeRepair, 77},
+                                {MutatorKind::kTruncate, 123456789}};
+  auto parsed = MutationListFromString(MutationListToString(list));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, list);
+
+  EXPECT_FALSE(MutationFromString("no_colon").ok());
+  EXPECT_FALSE(MutationFromString("unknown_kind:1").ok());
+  EXPECT_FALSE(MutationFromString("truncate:").ok());
+  EXPECT_FALSE(MutationFromString("truncate:12x").ok());
+}
+
+TEST(Mutators, DeterministicInSeed) {
+  auto baseline = BuildBaseline("postgres_like", 11, 20, 30);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t i = 0; i < kMutatorKindCount; ++i) {
+    Mutation m{static_cast<MutatorKind>(i), 0xABCDEFULL + i};
+    Bytes a = baseline->image;
+    Bytes b = baseline->image;
+    ApplyMutation(baseline->config, m, &a);
+    ApplyMutation(baseline->config, m, &b);
+    EXPECT_EQ(a, b) << "mutator " << MutatorKindName(m.kind)
+                    << " not deterministic";
+  }
+}
+
+TEST(Mutators, EveryKindPerturbsSomeSeed) {
+  auto baseline = BuildBaseline("oracle_like", 12, 20, 30);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t i = 0; i < kMutatorKindCount; ++i) {
+    bool changed = false;
+    for (uint64_t seed = 1; seed <= 8 && !changed; ++seed) {
+      Bytes mutant = baseline->image;
+      ApplyMutation(baseline->config,
+                    {static_cast<MutatorKind>(i), seed * 31}, &mutant);
+      changed = mutant != baseline->image;
+    }
+    EXPECT_TRUE(changed) << MutatorKindName(static_cast<MutatorKind>(i))
+                         << " never changed the image";
+  }
+}
+
+TEST(Baselines, EveryDialectCarvesNonEmpty) {
+  for (const std::string& dialect : BuiltinDialectNames()) {
+    auto baseline = BuildBaseline(dialect, 5, 16, 24);
+    ASSERT_TRUE(baseline.ok()) << dialect << ": "
+                               << baseline.status().ToString();
+    EXPECT_GT(baseline->carve.pages.size(), 0u) << dialect;
+    EXPECT_GT(baseline->carve.records.size(), 0u) << dialect;
+    EXPECT_GT(baseline->log.entries().size(), 0u) << dialect;
+  }
+}
+
+TEST(Minimize, ShrinksToFailingCore) {
+  // The "bug" triggers iff the list contains a kWipeRepair mutation; the
+  // minimizer must strip the noise around it.
+  std::vector<Mutation> noisy = {
+      {MutatorKind::kBitFlipRandom, 1}, {MutatorKind::kTruncate, 2},
+      {MutatorKind::kWipeRepair, 3},    {MutatorKind::kPageSwap, 4},
+      {MutatorKind::kHeaderFlip, 5},    {MutatorKind::kTornPage, 6},
+  };
+  size_t evaluations = 0;
+  auto fails = [&](const std::vector<Mutation>& candidate) {
+    ++evaluations;
+    for (const Mutation& m : candidate) {
+      if (m.kind == MutatorKind::kWipeRepair) return true;
+    }
+    return false;
+  };
+  std::vector<Mutation> core = MinimizeMutations(noisy, fails);
+  ASSERT_EQ(core.size(), 1u);
+  EXPECT_EQ(core[0].kind, MutatorKind::kWipeRepair);
+  EXPECT_GT(evaluations, 0u);
+
+  // A list where everything matters stays intact.
+  auto all_needed = [&](const std::vector<Mutation>& candidate) {
+    return candidate.size() == noisy.size();
+  };
+  EXPECT_EQ(MinimizeMutations(noisy, all_needed).size(), noisy.size());
+}
+
+TEST(Oracle, CleanImagePassesAndIdenticalCarvesCompareEmpty) {
+  auto baseline = BuildBaseline("mysql_like", 21, 16, 24);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(DescribeCarveDifference(baseline->carve, baseline->carve), "");
+  OracleOptions options;
+  options.audit_log = &baseline->log;
+  EXPECT_EQ(CheckMutant(baseline->config, baseline->image, &baseline->carve,
+                        options),
+            "");
+}
+
+TEST(Oracle, EnvelopeCatchesMintedArtifacts) {
+  auto baseline = BuildBaseline("sqlite_like", 22, 16, 24);
+  ASSERT_TRUE(baseline.ok());
+  // Pretend the clean baseline was much smaller than what the carver now
+  // reports: the envelope must flag the explosion.
+  CarveResult tiny;
+  tiny.dialect = baseline->carve.dialect;
+  OracleOptions options;
+  options.envelope.page_slack = 0;
+  options.envelope.record_slack = 0;
+  options.envelope.record_factor = 0.0;
+  std::string violation =
+      CheckMutant(baseline->config, baseline->image, &tiny, options);
+  EXPECT_NE(violation, "") << "envelope failed to catch artifact growth";
+}
+
+TEST(Campaign, SmallRunAcrossTwoDialectsIsViolationFree) {
+  CampaignOptions options;
+  options.seed = 99;
+  options.dialects = {"postgres_like", "oracle_like"};
+  options.mutants_per_dialect = 24;
+  options.snapshot_every = 6;
+  options.detective_every = 6;
+  options.confusion_every = 12;
+  options.scratch_dir = TempDir("fuzz_campaign_scratch");
+  options.workload_rows = 16;
+  options.workload_ops = 24;
+  FuzzCampaign campaign(options);
+  auto report = campaign.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->mutants_run, 48u);
+  EXPECT_EQ(report->dialects_fuzzed, 2u);
+  EXPECT_GT(report->snapshot_checks, 0u);
+  EXPECT_GT(report->detective_checks, 0u);
+  EXPECT_GT(report->confusion_checks, 0u);
+  for (const CampaignFailure& f : report->failures) {
+    ADD_FAILURE() << f.ToString();
+  }
+}
+
+TEST(Campaign, SameSeedSameReport) {
+  CampaignOptions options;
+  options.seed = 7;
+  options.dialects = {"db2_like"};
+  options.mutants_per_dialect = 12;
+  options.snapshot_every = 0;  // keep this re-run cheap and scratch-free
+  options.detective_every = 4;
+  options.confusion_every = 6;
+  options.workload_rows = 12;
+  options.workload_ops = 16;
+  auto a = FuzzCampaign(options).Run();
+  auto b = FuzzCampaign(options).Run();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->mutants_run, b->mutants_run);
+  EXPECT_EQ(a->failures.size(), b->failures.size());
+  EXPECT_EQ(a->confusion_checks, b->confusion_checks);
+}
+
+}  // namespace
+}  // namespace dbfa
