@@ -21,6 +21,7 @@
 #ifndef DBFA_AUDITOR_STORAGE_AUDITOR_H_
 #define DBFA_AUDITOR_STORAGE_AUDITOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,10 @@ struct AuditReport {
   std::vector<TamperFinding> findings;
   size_t records_checked = 0;
   size_t pointers_checked = 0;
+  /// Keeps interned record/key values in the findings valid after the
+  /// audited CarveResult is gone (StringRef lifetime rule,
+  /// docs/columnar_memory.md).
+  std::shared_ptr<const StringPool> string_pool;
 
   bool Clean() const { return index_issues.empty() && findings.empty(); }
   std::string ToString() const;

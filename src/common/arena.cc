@@ -1,0 +1,57 @@
+#include "common/arena.h"
+
+#include <cstdint>
+
+namespace dbfa {
+
+Arena::Arena(size_t initial_chunk_bytes)
+    : next_chunk_bytes_(initial_chunk_bytes == 0 ? kDefaultInitialChunkBytes
+                                                 : initial_chunk_bytes) {}
+
+Arena::Chunk& Arena::AddChunk(size_t min_bytes) {
+  size_t size = next_chunk_bytes_;
+  if (size < min_bytes) {
+    // Oversized request: dedicated exactly-sized chunk, growth schedule
+    // untouched so ordinary allocations keep doubling from where they were.
+    size = min_bytes;
+  } else {
+    if (next_chunk_bytes_ < kMaxChunkBytes) {
+      next_chunk_bytes_ *= 2;
+      if (next_chunk_bytes_ > kMaxChunkBytes) {
+        next_chunk_bytes_ = kMaxChunkBytes;
+      }
+    }
+  }
+  Chunk c;
+  c.data = std::make_unique<char[]>(size);
+  c.size = size;
+  bytes_reserved_ += size;
+  chunks_.push_back(std::move(c));
+  return chunks_.back();
+}
+
+char* Arena::Allocate(size_t n, size_t align) {
+  // Align the absolute address, not the chunk-relative offset: operator
+  // new[] only guarantees alignof(std::max_align_t), so a 64-byte-aligned
+  // request must account for the chunk base too.
+  if (chunks_.empty()) AddChunk(n + align);
+  Chunk* c = &chunks_.back();
+  auto aligned_offset = [align](const Chunk& ch) {
+    uintptr_t base = reinterpret_cast<uintptr_t>(ch.data.get());
+    uintptr_t cursor = base + ch.used;
+    uintptr_t aligned =
+        (cursor + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    return static_cast<size_t>(aligned - base);
+  };
+  size_t aligned = aligned_offset(*c);
+  if (aligned + n > c->size) {
+    c = &AddChunk(n + align);
+    aligned = aligned_offset(*c);
+  }
+  char* p = c->data.get() + aligned;
+  bytes_used_ += (aligned - c->used) + n;
+  c->used = aligned + n;
+  return p;
+}
+
+}  // namespace dbfa

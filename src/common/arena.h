@@ -1,0 +1,64 @@
+// Chunked bump allocator backing the interned-string pool (and any other
+// allocate-many / free-at-once workload in the carve pipeline).
+//
+// Allocate() bumps a cursor inside geometrically growing chunks; nothing is
+// freed until the arena itself dies, so a pointer handed out by Allocate()
+// stays valid (and never moves) for the arena's whole lifetime. That pointer
+// stability is what lets StringRef hold raw `const char*` into the arena.
+#ifndef DBFA_COMMON_ARENA_H_
+#define DBFA_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace dbfa {
+
+/// A chunked bump allocator with RAII ownership and byte-usage accounting.
+///
+/// Not thread-safe: callers that share an arena across threads synchronize
+/// externally (StringPool gives each shard a private arena under the shard
+/// mutex).
+class Arena {
+ public:
+  static constexpr size_t kDefaultInitialChunkBytes = 4096;
+  /// Chunk growth doubles up to this cap; larger single allocations get a
+  /// dedicated exactly-sized chunk.
+  static constexpr size_t kMaxChunkBytes = 1u << 20;
+
+  explicit Arena(size_t initial_chunk_bytes = kDefaultInitialChunkBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Returns `n` bytes aligned to `align` (a power of two). n == 0 returns a
+  /// valid, unique-enough pointer into the current chunk.
+  char* Allocate(size_t n, size_t align = alignof(std::max_align_t));
+
+  /// Bytes handed out to callers, including alignment padding.
+  size_t bytes_used() const { return bytes_used_; }
+  /// Bytes owned by the arena's chunks (>= bytes_used()).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;  // capacity
+    size_t used = 0;  // bump cursor
+  };
+
+  // Appends a chunk of at least `min_bytes` and returns it.
+  Chunk& AddChunk(size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  size_t next_chunk_bytes_;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_COMMON_ARENA_H_

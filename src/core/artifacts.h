@@ -7,10 +7,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "common/string_pool.h"
 
 #include "storage/page_formatter.h"
 #include "storage/page_layout.h"
@@ -132,6 +135,14 @@ struct CarveResult {
   /// Not part of the artifact output: equivalence checks compare the
   /// collections below, never stats.
   CarveStats stats;
+
+  /// Interned-string pool backing Value::InternedStr cells in `records`.
+  /// Null when carving with CarveOptions::intern_strings off, and for
+  /// results assembled from the snapshot artifact cache (those decode to
+  /// owning strings — equivalence checks compare content, so the two
+  /// representations are interchangeable). Shared so relations and query
+  /// results can keep borrowed refs alive past this result.
+  std::shared_ptr<StringPool> string_pool;
 
   std::vector<CarvedPage> pages;
   std::vector<CarvedRecord> records;

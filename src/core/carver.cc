@@ -1,5 +1,6 @@
 #include "core/carver.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <set>
@@ -79,6 +80,9 @@ Result<CarveResult> Carver::Carve(ByteView image) const {
   result.dialect = p.dialect;
   result.image_size = image.size();
   result.stats.bytes_scanned = image.size();
+  if (options_.intern_strings) {
+    result.string_pool = std::make_shared<StringPool>();
+  }
 
   // Pass 1: page detection. Accepting a page advances the cursor by a full
   // page so page-interior bytes are never re-interpreted as page starts.
@@ -117,6 +121,9 @@ void Carver::CarveContentRange(ByteView image, const CarveResult& base,
                                std::vector<CarvedRecord>* records,
                                std::vector<CarvedIndexEntry>* entries) const {
   const PageLayoutParams& p = config_.params;
+  // Interning is sharded-thread-safe, so concurrent ranges share the
+  // result's pool directly.
+  StringPool* pool = base.string_pool.get();
   for (size_t i = begin; i < end; ++i) {
     const CarvedPage& page_meta = base.pages[i];
     if (!page_meta.checksum_ok && !options_.parse_bad_checksum_pages) {
@@ -129,7 +136,7 @@ void Carver::CarveContentRange(ByteView image, const CarveResult& base,
           const TableSchema* schema = nullptr;
           auto schema_it = base.schemas.find(page_meta.object_id);
           if (schema_it != base.schemas.end()) schema = &schema_it->second;
-          CarveDataPage(page, i, page_meta, schema, records);
+          CarveDataPage(page, i, page_meta, schema, pool, records);
         }
         break;
       case PageType::kIndexLeaf:
@@ -150,12 +157,12 @@ void Carver::CarveCatalog(ByteView image, CarveResult* result) const {
       continue;
     }
     ByteView page = image.Slice(page_meta.image_offset, p.page_size);
+    ParsedRecord parsed;  // scratch reused across slots
     for (uint16_t s = 0; s < page_meta.record_count; ++s) {
       auto slot = fmt_.GetSlot(page.data(), s);
       if (!slot.has_value()) continue;
-      auto rec = fmt_.ParseRecordAt(page, slot->offset);
-      if (!rec.ok()) continue;
-      Record values = fmt_.DecodeUntyped(*rec);
+      if (!fmt_.ParseRecordAt(page, slot->offset, &parsed).ok()) continue;
+      Record values = fmt_.DecodeUntyped(parsed);
       // Catalog rows are (str, str, int, int, int, str).
       if (values.size() != 6) continue;
       if (values[0].type() != ValueType::kString ||
@@ -173,7 +180,7 @@ void Carver::CarveCatalog(ByteView image, CarveResult* result) const {
       entry.root_page = static_cast<uint32_t>(values[4].as_int());
       entry.info =
           values[5].type() == ValueType::kString ? values[5].as_string() : "";
-      entry.status = fmt_.IsDeleted(*rec, slot->tombstoned)
+      entry.status = fmt_.IsDeleted(parsed, slot->tombstoned)
                          ? RowStatus::kDeleted
                          : RowStatus::kActive;
       result->catalog_entries.push_back(std::move(entry));
@@ -217,40 +224,44 @@ void Carver::CarveCatalog(ByteView image, CarveResult* result) const {
 
 void Carver::CarveDataPage(ByteView page, size_t page_index,
                            const CarvedPage& page_meta,
-                           const TableSchema* schema,
+                           const TableSchema* schema, StringPool* pool,
                            std::vector<CarvedRecord>* out) const {
-  std::set<uint16_t> seen_offsets;
+  // Offsets the slot directory already covered, for the raw-scan dedup
+  // below. A flat vector + one sort beats a std::set here: this runs per
+  // record on the carve hot path, and a set pays one node allocation per
+  // insert.
+  std::vector<uint16_t> seen_offsets;
   size_t slot_failures = 0;
+  ParsedRecord rec;  // scratch reused across slots: zero-alloc parses
   for (uint16_t s = 0; s < page_meta.record_count; ++s) {
     auto slot = fmt_.GetSlot(page.data(), s);
     if (!slot.has_value()) {
       ++slot_failures;
       continue;
     }
-    auto rec = fmt_.ParseRecordAt(page, slot->offset);
-    if (!rec.ok()) {
+    if (!fmt_.ParseRecordAt(page, slot->offset, &rec).ok()) {
       ++slot_failures;
       continue;
     }
-    seen_offsets.insert(rec->offset);
+    seen_offsets.push_back(rec.offset);
     CarvedRecord carved;
     carved.page_index = page_index;
     carved.object_id = page_meta.object_id;
     carved.page_id = page_meta.page_id;
     carved.slot = s;
-    carved.status = fmt_.IsDeleted(*rec, slot->tombstoned)
+    carved.status = fmt_.IsDeleted(rec, slot->tombstoned)
                         ? RowStatus::kDeleted
                         : RowStatus::kActive;
-    carved.row_id = rec->row_id;
+    carved.row_id = rec.row_id;
     carved.page_lsn = page_meta.lsn;
     if (schema != nullptr) {
-      auto typed = fmt_.DecodeTyped(*rec, *schema);
+      auto typed = fmt_.DecodeTyped(rec, *schema, pool);
       if (typed.ok()) {
         carved.values = std::move(typed).value();
         carved.typed = true;
       }
     }
-    if (!carved.typed) carved.values = fmt_.DecodeUntyped(*rec);
+    if (!carved.typed) carved.values = fmt_.DecodeUntyped(rec, pool);
     out->push_back(std::move(carved));
   }
 
@@ -259,8 +270,12 @@ void Carver::CarveDataPage(ByteView page, size_t page_index,
   bool want_raw = options_.raw_scan_fallback &&
                   (slot_failures > 0 || !page_meta.checksum_ok);
   if (!want_raw) return;
+  std::sort(seen_offsets.begin(), seen_offsets.end());
   for (const ParsedRecord& rec : fmt_.ScanRecordsRaw(page)) {
-    if (seen_offsets.count(rec.offset) != 0) continue;
+    if (std::binary_search(seen_offsets.begin(), seen_offsets.end(),
+                           rec.offset)) {
+      continue;
+    }
     CarvedRecord carved;
     carved.page_index = page_index;
     carved.object_id = page_meta.object_id;
@@ -271,13 +286,13 @@ void Carver::CarveDataPage(ByteView page, size_t page_index,
     carved.row_id = rec.row_id;
     carved.page_lsn = page_meta.lsn;
     if (schema != nullptr) {
-      auto typed = fmt_.DecodeTyped(rec, *schema);
+      auto typed = fmt_.DecodeTyped(rec, *schema, pool);
       if (typed.ok()) {
         carved.values = std::move(typed).value();
         carved.typed = true;
       }
     }
-    if (!carved.typed) carved.values = fmt_.DecodeUntyped(rec);
+    if (!carved.typed) carved.values = fmt_.DecodeUntyped(rec, pool);
     out->push_back(std::move(carved));
   }
 }

@@ -44,6 +44,11 @@ struct CarveOptions {
   /// automatically from the image and thread count. Ignored by the serial
   /// Carver. Exposed mainly so tests can force pages onto chunk edges.
   size_t chunk_pages = 0;
+  /// Intern string cells of carved records into a per-result StringPool
+  /// (CarveResult::string_pool): each distinct value is stored once in an
+  /// arena instead of one heap std::string per cell. Off gives
+  /// self-contained owning records (the benches' allocation baseline).
+  bool intern_strings = true;
 };
 
 class Carver {
@@ -84,7 +89,7 @@ class Carver {
                          std::vector<CarvedIndexEntry>* entries) const;
 
   void CarveDataPage(ByteView page, size_t page_index, const CarvedPage& meta,
-                     const TableSchema* schema,
+                     const TableSchema* schema, StringPool* pool,
                      std::vector<CarvedRecord>* out) const;
   void CarveIndexPage(ByteView page, size_t page_index,
                       const CarvedPage& meta,

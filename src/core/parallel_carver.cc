@@ -196,6 +196,14 @@ Result<std::vector<CarveResult>> ParallelCarver::CarveAll(
   }
 
   // ---- Wave 2: content decoding, one task per (config, page range) ----
+  //
+  // Each result gets its string pool before the wave starts; decode
+  // workers intern into it concurrently (the pool is sharded internally).
+  for (size_t ci = 0; ci < n_configs; ++ci) {
+    if (carvers[ci].options_.intern_strings) {
+      results[ci].string_pool = std::make_shared<StringPool>();
+    }
+  }
   auto content_start = std::chrono::steady_clock::now();
   std::vector<ContentTask> content_tasks;
   for (size_t ci = 0; ci < n_configs; ++ci) {

@@ -429,6 +429,7 @@ Result<std::unique_ptr<MetaQuerySession>> DbDetective::MakeMetaQuerySession(
 
 Result<DetectiveReport> DbDetective::Analyze() const {
   DetectiveReport report;
+  if (disk_ != nullptr) report.string_pool = disk_->string_pool;
   DBFA_ASSIGN_OR_RETURN(
       report.modifications,
       FindUnattributedModifications(&report.deleted_records_checked,

@@ -57,6 +57,10 @@ struct DetectiveReport {
   /// Statistics for precision/recall accounting.
   size_t deleted_records_checked = 0;
   size_t active_records_checked = 0;
+  /// Keeps interned record values in `modifications` valid after the
+  /// analyzed carves are gone (StringRef lifetime rule,
+  /// docs/columnar_memory.md).
+  std::shared_ptr<const StringPool> string_pool;
 
   bool Clean() const { return modifications.empty() && reads.empty(); }
   std::string ToString() const;

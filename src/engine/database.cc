@@ -57,11 +57,12 @@ Result<std::unique_ptr<Database>> Database::OpenFromCheckpoint(
   std::vector<Row> rows;
   DBFA_RETURN_IF_ERROR(
       catalog_heap.Scan([&](RowPointer, const Record& rec) {
-        rows.push_back({rec[0].as_string(), rec[1].as_string(),
-                        static_cast<uint32_t>(rec[2].as_int()),
-                        static_cast<uint32_t>(rec[3].as_int()),
-                        static_cast<uint32_t>(rec[4].as_int()),
-                        rec[5].is_null() ? "" : rec[5].as_string()});
+        rows.push_back(
+            {std::string(rec[0].as_string()), std::string(rec[1].as_string()),
+             static_cast<uint32_t>(rec[2].as_int()),
+             static_cast<uint32_t>(rec[3].as_int()),
+             static_cast<uint32_t>(rec[4].as_int()),
+             rec[5].is_null() ? "" : std::string(rec[5].as_string())});
         return Status::Ok();
       }));
   // 2. Attach object files. Catalog-record order gives names; file names

@@ -1,8 +1,11 @@
 #include "metaquery/batch_executor.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
 #include <utility>
 
+#include "metaquery/column_batch.h"
 #include "metaquery/exec_common.h"
 #include "sql/bound_expr.h"
 
@@ -20,7 +23,9 @@ Status MaterializeRelation(const Relation& rel, std::vector<Record>* out) {
 
 Result<QueryTable> ExecuteBatched(const sql::SelectStmt& stmt,
                                   const RelationResolver& lookup,
-                                  size_t batch_rows, ThreadPool* pool) {
+                                  size_t batch_rows, ThreadPool* pool,
+                                  bool columnar_filter,
+                                  BatchExecStats* stats) {
   // ---- Plan + execute FROM and JOINs ---------------------------------
   DBFA_ASSIGN_OR_RETURN(auto base, lookup(stmt.from.table));
   FrameSet frames;
@@ -89,12 +94,32 @@ Result<QueryTable> ExecuteBatched(const sql::SelectStmt& stmt,
         sql::BindExpr(*stmt.where, [&frames](std::string_view name) {
           return frames.Resolve(name);
         }));
+    // Decompose the predicate into columnar terms once; per batch the
+    // columnar kernels run when the batch's shape qualifies, otherwise the
+    // row-at-a-time evaluator below produces identical results (including
+    // its errors — see TryColumnarFilter). Engagement is tracked per batch
+    // without atomics and summed after the barrier, so the counters are
+    // deterministic at every thread count.
+    std::optional<ColumnarPredicate> cpred;
+    if (columnar_filter) cpred = AnalyzeColumnarPredicate(*where);
     BatchGrid grid = MakeBatches(rows.size(), batch_rows);
     std::vector<std::vector<Record>> kept(grid.count);
+    std::vector<uint8_t> batch_columnar(grid.count, 0);
     DBFA_RETURN_IF_ERROR(ForEachBatch(pool, grid.count, [&](size_t b) {
       size_t lo = b * grid.batch_rows;
       size_t hi = std::min(rows.size(), lo + grid.batch_rows);
       std::vector<Record>& out = kept[b];
+      if (cpred.has_value()) {
+        std::vector<uint8_t> match;
+        if (TryColumnarFilter(*cpred, rows, lo, hi, &match)) {
+          batch_columnar[b] = 1;
+          // Gather in row order: output order matches the row path exactly.
+          for (size_t i = 0; i < match.size(); ++i) {
+            if (match[i] != 0) out.push_back(std::move(rows[lo + i]));
+          }
+          return Status::Ok();
+        }
+      }
       for (size_t r = lo; r < hi; ++r) {
         DBFA_ASSIGN_OR_RETURN(bool pass,
                               sql::EvalBoundPredicate(*where, rows[r]));
@@ -103,6 +128,15 @@ Result<QueryTable> ExecuteBatched(const sql::SelectStmt& stmt,
       return Status::Ok();
     }));
     rows = ConcatBatches(std::move(kept));
+    if (stats != nullptr) {
+      for (uint8_t c : batch_columnar) {
+        if (c != 0) {
+          ++stats->columnar_batches;
+        } else {
+          ++stats->row_batches;
+        }
+      }
+    }
   }
 
   QueryTable out;

@@ -17,9 +17,17 @@ namespace dbfa::metaquery_internal {
 /// non-null its workers process batches concurrently; results are
 /// identical for any pool size because batch geometry depends only on
 /// `batch_rows` and outputs are concatenated in batch order.
+///
+/// When `columnar_filter` is set, WHERE predicates made of comparison /
+/// IS NULL conjuncts are evaluated column-at-a-time per batch
+/// (column_batch.h); batches whose shape doesn't qualify fall back to the
+/// row-at-a-time evaluator, so results are identical either way. `stats`,
+/// when non-null, receives per-query engagement counters.
 Result<QueryTable> ExecuteBatched(const sql::SelectStmt& stmt,
                                   const RelationResolver& lookup,
-                                  size_t batch_rows, ThreadPool* pool);
+                                  size_t batch_rows, ThreadPool* pool,
+                                  bool columnar_filter = true,
+                                  BatchExecStats* stats = nullptr);
 
 }  // namespace dbfa::metaquery_internal
 

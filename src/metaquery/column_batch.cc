@@ -1,0 +1,587 @@
+#include "metaquery/column_batch.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+namespace dbfa::metaquery_internal {
+namespace {
+
+constexpr uint64_t kAllOnes = ~uint64_t{0};
+
+inline void SetNullBit(std::vector<uint64_t>* bm, size_t r) {
+  (*bm)[r >> 6] |= uint64_t{1} << (r & 63);
+}
+
+inline int Sign(int v) { return v < 0 ? -1 : (v > 0 ? 1 : 0); }
+
+/// Truth table for one CompareOp over the three-way result of
+/// Value::Compare; Holds(t, c) replaces the per-row op switch in the tight
+/// loops below.
+struct OpTable {
+  bool lt = false;
+  bool eq = false;
+  bool gt = false;
+};
+
+OpTable MakeOpTable(sql::CompareOp op) {
+  switch (op) {
+    case sql::CompareOp::kEq:
+      return {false, true, false};
+    case sql::CompareOp::kNe:
+      return {true, false, true};
+    case sql::CompareOp::kLt:
+      return {true, false, false};
+    case sql::CompareOp::kLe:
+      return {true, true, false};
+    case sql::CompareOp::kGt:
+      return {false, false, true};
+    case sql::CompareOp::kGe:
+      return {false, true, true};
+  }
+  return {};
+}
+
+inline bool Holds(const OpTable& t, int c) {
+  return c < 0 ? t.lt : (c > 0 ? t.gt : t.eq);
+}
+
+/// Content equality of two string refs, using the interning metadata as
+/// progressively cheaper gates: same pool -> id equality is definitive;
+/// otherwise a length gate, then a cached-hash gate when both sides carry
+/// one (pool_id != 0), then memcmp.
+inline bool StringRefEq(const StringRef& a, const StringRef& b) {
+  if (a.pool_id != 0 && a.pool_id == b.pool_id) return a.id == b.id;
+  if (a.len != b.len) return false;
+  if (a.pool_id != 0 && b.pool_id != 0 && a.hash != b.hash) return false;
+  return std::memcmp(a.data, b.data, a.len) == 0;
+}
+
+}  // namespace
+
+ColumnBatch::Column ColumnBatch::BuildColumn(const std::vector<Record>& rows,
+                                             size_t begin, size_t end,
+                                             size_t c, bool want_values) {
+  Column col;
+  col.built = true;
+  const size_t n = end - begin;
+  bool has_int = false;
+  bool has_double = false;
+  bool has_string = false;
+  bool oversized = false;
+  for (size_t r = begin; r < end; ++r) {
+    const Value& v = rows[r][c];
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt:
+        has_int = true;
+        break;
+      case ValueType::kDouble:
+        has_double = true;
+        break;
+      case ValueType::kString:
+        has_string = true;
+        if (v.as_string().size() >
+            size_t{std::numeric_limits<uint32_t>::max()}) {
+          oversized = true;  // cannot fit a borrowed StringRef
+        }
+        break;
+    }
+  }
+  col.nulls.assign((n + 63) / 64, 0);
+  const int kinds =
+      (has_int ? 1 : 0) + (has_double ? 1 : 0) + (has_string ? 1 : 0);
+  if (kinds == 0) {
+    col.type = ColType::kNullOnly;
+    std::fill(col.nulls.begin(), col.nulls.end(), kAllOnes);
+    return col;
+  }
+  if (kinds > 1 || (has_string && oversized)) {
+    col.type = ColType::kValue;
+    if (want_values) {
+      col.values.reserve(n);
+      for (size_t r = begin; r < end; ++r) col.values.push_back(rows[r][c]);
+    }
+    for (size_t r = begin; r < end; ++r) {
+      if (rows[r][c].is_null()) SetNullBit(&col.nulls, r - begin);
+    }
+    return col;
+  }
+  if (has_int) {
+    col.type = ColType::kInt;
+    col.ints.resize(n);
+    for (size_t r = begin; r < end; ++r) {
+      const Value& v = rows[r][c];
+      if (v.is_null()) {
+        SetNullBit(&col.nulls, r - begin);
+      } else {
+        col.ints[r - begin] = v.as_int();
+      }
+    }
+  } else if (has_double) {
+    col.type = ColType::kDouble;
+    col.doubles.resize(n);
+    for (size_t r = begin; r < end; ++r) {
+      const Value& v = rows[r][c];
+      if (v.is_null()) {
+        SetNullBit(&col.nulls, r - begin);
+      } else {
+        col.doubles[r - begin] = v.as_double();
+      }
+    }
+  } else {
+    col.type = ColType::kString;
+    col.strings.resize(n);
+    for (size_t r = begin; r < end; ++r) {
+      const Value& v = rows[r][c];
+      if (v.is_null()) {
+        SetNullBit(&col.nulls, r - begin);
+      } else if (v.is_interned()) {
+        col.strings[r - begin] = v.interned_ref();
+      } else {
+        // Borrowed view into the owned cell; pool_id 0 marks "no cached
+        // hash / no id identity", so comparisons fall through to content.
+        std::string_view s = v.as_string();
+        StringRef ref;
+        ref.data = s.data();
+        ref.len = static_cast<uint32_t>(s.size());
+        col.strings[r - begin] = ref;
+      }
+    }
+  }
+  return col;
+}
+
+ColumnBatch ColumnBatch::FromRecords(const std::vector<Record>& rows,
+                                     size_t begin, size_t end) {
+  ColumnBatch b;
+  b.rows_ = end - begin;
+  const size_t width = begin < end ? rows[begin].size() : 0;
+  b.cols_.reserve(width);
+  for (size_t c = 0; c < width; ++c) {
+    b.cols_.push_back(BuildColumn(rows, begin, end, c, /*want_values=*/true));
+  }
+  return b;
+}
+
+ColumnBatch ColumnBatch::FromRecordsColumns(const std::vector<Record>& rows,
+                                            size_t begin, size_t end,
+                                            const std::vector<size_t>& wanted) {
+  ColumnBatch b;
+  b.rows_ = end - begin;
+  size_t width = 0;
+  for (size_t c : wanted) width = std::max(width, c + 1);
+  b.cols_.resize(width);
+  for (size_t c : wanted) {
+    b.cols_[c] = BuildColumn(rows, begin, end, c, /*want_values=*/false);
+  }
+  return b;
+}
+
+void ColumnBatch::ToRecords(std::vector<Record>* out) const {
+  for (size_t r = 0; r < rows_; ++r) {
+    Record rec;
+    rec.reserve(cols_.size());
+    for (const Column& col : cols_) {
+      switch (col.type) {
+        case ColType::kNullOnly:
+          rec.push_back(Value::Null());
+          break;
+        case ColType::kInt:
+          rec.push_back(col.IsNull(r) ? Value::Null()
+                                      : Value::Int(col.ints[r]));
+          break;
+        case ColType::kDouble:
+          rec.push_back(col.IsNull(r) ? Value::Null()
+                                      : Value::Real(col.doubles[r]));
+          break;
+        case ColType::kString:
+          if (col.IsNull(r)) {
+            rec.push_back(Value::Null());
+          } else if (col.strings[r].pool_id != 0) {
+            rec.push_back(Value::InternedStr(col.strings[r]));
+          } else {
+            rec.push_back(Value::Str(std::string(col.strings[r].view())));
+          }
+          break;
+        case ColType::kValue:
+          rec.push_back(col.values[r]);
+          break;
+      }
+    }
+    out->push_back(std::move(rec));
+  }
+}
+
+namespace {
+
+sql::CompareOp MirrorOp(sql::CompareOp op) {
+  switch (op) {
+    case sql::CompareOp::kLt:
+      return sql::CompareOp::kGt;
+    case sql::CompareOp::kLe:
+      return sql::CompareOp::kGe;
+    case sql::CompareOp::kGt:
+      return sql::CompareOp::kLt;
+    case sql::CompareOp::kGe:
+      return sql::CompareOp::kLe;
+    case sql::CompareOp::kEq:
+    case sql::CompareOp::kNe:
+      break;
+  }
+  return op;
+}
+
+/// Recursive worker for AnalyzeColumnarPredicate. Appends terms and
+/// referenced columns to *out; returns false on any unsupported shape.
+bool Decompose(const sql::BoundExpr& e, ColumnarPredicate* out) {
+  using sql::ExprKind;
+  switch (e.kind) {
+    case ExprKind::kAnd:
+      return Decompose(*e.lhs, out) && Decompose(*e.rhs, out);
+    case ExprKind::kCompare: {
+      const sql::BoundExpr& l = *e.lhs;
+      const sql::BoundExpr& r = *e.rhs;
+      const bool l_col = l.kind == ExprKind::kColumn;
+      const bool r_col = r.kind == ExprKind::kColumn;
+      const bool l_lit = l.kind == ExprKind::kLiteral;
+      const bool r_lit = r.kind == ExprKind::kLiteral;
+      // The row path materializes BOTH operands before its NULL check, so
+      // every referenced column counts toward min_width even when the term
+      // folds to a constant — a too-narrow row must still take the row
+      // path and reproduce its width error.
+      if (l_col) out->columns.push_back(l.column_index);
+      if (r_col) out->columns.push_back(r.column_index);
+      ColumnarTerm t;
+      if (l_col && r_lit) {
+        t.op = e.compare_op;
+        t.col_a = l.column_index;
+        t.literal = r.literal;
+        t.kind = t.literal.is_null() ? ColumnarTerm::Kind::kNever
+                                     : ColumnarTerm::Kind::kCompareColLit;
+      } else if (l_lit && r_col) {
+        // lit <op> col  ==  col <mirror(op)> lit
+        t.op = MirrorOp(e.compare_op);
+        t.col_a = r.column_index;
+        t.literal = l.literal;
+        t.kind = t.literal.is_null() ? ColumnarTerm::Kind::kNever
+                                     : ColumnarTerm::Kind::kCompareColLit;
+      } else if (l_col && r_col) {
+        t.op = e.compare_op;
+        t.col_a = l.column_index;
+        t.col_b = r.column_index;
+        t.kind = ColumnarTerm::Kind::kCompareColCol;
+      } else if (l_lit && r_lit) {
+        if (l.literal.is_null() || r.literal.is_null()) {
+          t.kind = ColumnarTerm::Kind::kNever;
+        } else if (Holds(MakeOpTable(e.compare_op),
+                         Value::Compare(l.literal, r.literal))) {
+          return true;  // constant true: contributes nothing to the AND
+        } else {
+          t.kind = ColumnarTerm::Kind::kNever;
+        }
+      } else {
+        return false;  // nested expression operand
+      }
+      out->terms.push_back(std::move(t));
+      return true;
+    }
+    case ExprKind::kIsNull: {
+      if (e.lhs->kind != ExprKind::kColumn) return false;
+      ColumnarTerm t;
+      t.kind = ColumnarTerm::Kind::kIsNull;
+      t.col_a = e.lhs->column_index;
+      t.negated = e.negated;
+      out->columns.push_back(t.col_a);
+      out->terms.push_back(std::move(t));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::optional<ColumnarPredicate> AnalyzeColumnarPredicate(
+    const sql::BoundExpr& e) {
+  ColumnarPredicate pred;
+  if (!Decompose(e, &pred)) return std::nullopt;
+  std::sort(pred.columns.begin(), pred.columns.end());
+  pred.columns.erase(std::unique(pred.columns.begin(), pred.columns.end()),
+                     pred.columns.end());
+  pred.min_width = pred.columns.empty() ? 0 : pred.columns.back() + 1;
+  return pred;
+}
+
+namespace {
+
+// dbfa:hot-loop-begin -- columnar filter kernels; no per-row std::string
+// construction allowed (see tools/lint rule hot-loop-string).
+
+void EvalCompareColLit(const ColumnarTerm& t, const ColumnBatch::Column& col,
+                       size_t n, uint8_t* match) {
+  const OpTable ops = MakeOpTable(t.op);
+  const Value& lit = t.literal;
+  const bool lit_num = lit.type() == ValueType::kInt ||
+                       lit.type() == ValueType::kDouble;
+  switch (col.type) {
+    case ColumnBatch::ColType::kNullOnly:
+      std::fill(match, match + n, uint8_t{0});  // NULL operand -> false
+      return;
+    case ColumnBatch::ColType::kInt: {
+      if (lit.type() == ValueType::kInt) {
+        const int64_t lv = lit.as_int();
+        for (size_t i = 0; i < n; ++i) {
+          if (match[i] == 0) continue;
+          if (col.IsNull(i)) {
+            match[i] = 0;
+            continue;
+          }
+          const int64_t x = col.ints[i];
+          match[i] =
+              static_cast<uint8_t>(Holds(ops, x < lv ? -1 : (x > lv ? 1 : 0)));
+        }
+      } else if (lit.type() == ValueType::kDouble) {
+        const double lv = lit.as_double();
+        for (size_t i = 0; i < n; ++i) {
+          if (match[i] == 0) continue;
+          if (col.IsNull(i)) {
+            match[i] = 0;
+            continue;
+          }
+          const double x = static_cast<double>(col.ints[i]);
+          match[i] =
+              static_cast<uint8_t>(Holds(ops, x < lv ? -1 : (x > lv ? 1 : 0)));
+        }
+      } else {
+        // Number vs string: Value::Compare orders numbers before strings,
+        // so the term is a constant for every non-null cell.
+        const uint8_t k = static_cast<uint8_t>(Holds(ops, -1));
+        for (size_t i = 0; i < n; ++i) {
+          if (match[i] != 0) match[i] = col.IsNull(i) ? uint8_t{0} : k;
+        }
+      }
+      return;
+    }
+    case ColumnBatch::ColType::kDouble: {
+      if (lit_num) {
+        const double lv = lit.NumericValue();
+        for (size_t i = 0; i < n; ++i) {
+          if (match[i] == 0) continue;
+          if (col.IsNull(i)) {
+            match[i] = 0;
+            continue;
+          }
+          const double x = col.doubles[i];
+          match[i] =
+              static_cast<uint8_t>(Holds(ops, x < lv ? -1 : (x > lv ? 1 : 0)));
+        }
+      } else {
+        const uint8_t k = static_cast<uint8_t>(Holds(ops, -1));
+        for (size_t i = 0; i < n; ++i) {
+          if (match[i] != 0) match[i] = col.IsNull(i) ? uint8_t{0} : k;
+        }
+      }
+      return;
+    }
+    case ColumnBatch::ColType::kString: {
+      if (lit.type() == ValueType::kString) {
+        const std::string_view lv = lit.as_string();
+        if (t.op == sql::CompareOp::kEq || t.op == sql::CompareOp::kNe) {
+          StringRef lref;
+          lref.data = lv.data();
+          lref.len = static_cast<uint32_t>(lv.size());
+          lref.pool_id = 1;  // synthetic: enables the cached-hash gate
+          lref.hash = HashStringContent(lv);
+          const uint8_t on_eq = static_cast<uint8_t>(ops.eq);
+          const uint8_t on_ne = static_cast<uint8_t>(ops.lt);
+          for (size_t i = 0; i < n; ++i) {
+            if (match[i] == 0) continue;
+            if (col.IsNull(i)) {
+              match[i] = 0;
+              continue;
+            }
+            const StringRef& s = col.strings[i];
+            bool eq;
+            if (s.len != lref.len) {
+              eq = false;
+            } else if (s.pool_id != 0 && s.hash != lref.hash) {
+              eq = false;
+            } else {
+              eq = std::memcmp(s.data, lref.data, s.len) == 0;
+            }
+            match[i] = eq ? on_eq : on_ne;
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            if (match[i] == 0) continue;
+            if (col.IsNull(i)) {
+              match[i] = 0;
+              continue;
+            }
+            match[i] = static_cast<uint8_t>(
+                Holds(ops, Sign(col.strings[i].view().compare(lv))));
+          }
+        }
+      } else {
+        // String vs number: constant +1 for every non-null cell.
+        const uint8_t k = static_cast<uint8_t>(Holds(ops, 1));
+        for (size_t i = 0; i < n; ++i) {
+          if (match[i] != 0) match[i] = col.IsNull(i) ? uint8_t{0} : k;
+        }
+      }
+      return;
+    }
+    case ColumnBatch::ColType::kValue:
+      break;  // disqualified by TryColumnarFilter before evaluation
+  }
+}
+
+void EvalCompareColCol(const ColumnarTerm& t, const ColumnBatch::Column& a,
+                       const ColumnBatch::Column& b, size_t n,
+                       uint8_t* match) {
+  using ColType = ColumnBatch::ColType;
+  const OpTable ops = MakeOpTable(t.op);
+  if (a.type == ColType::kNullOnly || b.type == ColType::kNullOnly) {
+    std::fill(match, match + n, uint8_t{0});
+    return;
+  }
+  const bool a_num = a.type == ColType::kInt || a.type == ColType::kDouble;
+  const bool b_num = b.type == ColType::kInt || b.type == ColType::kDouble;
+  if (a_num != b_num) {
+    // Mixed numeric/string columns: Value::Compare is the constant
+    // "numbers before strings" for every non-null pair.
+    const uint8_t k = static_cast<uint8_t>(Holds(ops, a_num ? -1 : 1));
+    for (size_t i = 0; i < n; ++i) {
+      if (match[i] != 0) {
+        match[i] = (a.IsNull(i) || b.IsNull(i)) ? uint8_t{0} : k;
+      }
+    }
+    return;
+  }
+  if (a_num) {
+    if (a.type == ColType::kInt && b.type == ColType::kInt) {
+      for (size_t i = 0; i < n; ++i) {
+        if (match[i] == 0) continue;
+        if (a.IsNull(i) || b.IsNull(i)) {
+          match[i] = 0;
+          continue;
+        }
+        const int64_t x = a.ints[i];
+        const int64_t y = b.ints[i];
+        match[i] =
+            static_cast<uint8_t>(Holds(ops, x < y ? -1 : (x > y ? 1 : 0)));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (match[i] == 0) continue;
+        if (a.IsNull(i) || b.IsNull(i)) {
+          match[i] = 0;
+          continue;
+        }
+        const double x = a.type == ColType::kInt
+                             ? static_cast<double>(a.ints[i])
+                             : a.doubles[i];
+        const double y = b.type == ColType::kInt
+                             ? static_cast<double>(b.ints[i])
+                             : b.doubles[i];
+        match[i] =
+            static_cast<uint8_t>(Holds(ops, x < y ? -1 : (x > y ? 1 : 0)));
+      }
+    }
+    return;
+  }
+  // Both string columns.
+  const bool eq_only =
+      t.op == sql::CompareOp::kEq || t.op == sql::CompareOp::kNe;
+  for (size_t i = 0; i < n; ++i) {
+    if (match[i] == 0) continue;
+    if (a.IsNull(i) || b.IsNull(i)) {
+      match[i] = 0;
+      continue;
+    }
+    const StringRef& x = a.strings[i];
+    const StringRef& y = b.strings[i];
+    if (eq_only) {
+      match[i] = static_cast<uint8_t>(StringRefEq(x, y) ? ops.eq : ops.lt);
+    } else {
+      int c;
+      if (x.pool_id != 0 && x.pool_id == y.pool_id && x.id == y.id) {
+        c = 0;  // interned identity: same string, no byte compare
+      } else {
+        c = Sign(x.view().compare(y.view()));
+      }
+      match[i] = static_cast<uint8_t>(Holds(ops, c));
+    }
+  }
+}
+
+void EvalIsNull(const ColumnarTerm& t, const ColumnBatch::Column& col,
+                size_t n, uint8_t* match) {
+  if (t.negated) {
+    for (size_t i = 0; i < n; ++i) {
+      if (match[i] != 0 && col.IsNull(i)) match[i] = 0;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (match[i] != 0 && !col.IsNull(i)) match[i] = 0;
+    }
+  }
+}
+
+// dbfa:hot-loop-end
+
+}  // namespace
+
+bool TryColumnarFilter(const ColumnarPredicate& pred,
+                       const std::vector<Record>& rows, size_t lo, size_t hi,
+                       std::vector<uint8_t>* match) {
+  const size_t n = hi - lo;
+  if (n == 0) {
+    match->clear();
+    return true;
+  }
+  for (size_t r = lo; r < hi; ++r) {
+    if (rows[r].size() < pred.min_width) return false;  // row path errors
+  }
+  const ColumnBatch batch =
+      ColumnBatch::FromRecordsColumns(rows, lo, hi, pred.columns);
+  // Comparison kernels need typed columns; a mixed-type column sends the
+  // whole batch down the row path. (IS NULL works on any column — the null
+  // bitmap is always built.)
+  for (const ColumnarTerm& t : pred.terms) {
+    if (t.kind == ColumnarTerm::Kind::kCompareColLit ||
+        t.kind == ColumnarTerm::Kind::kCompareColCol) {
+      if (batch.column(t.col_a).type == ColumnBatch::ColType::kValue) {
+        return false;
+      }
+      if (t.kind == ColumnarTerm::Kind::kCompareColCol &&
+          batch.column(t.col_b).type == ColumnBatch::ColType::kValue) {
+        return false;
+      }
+    }
+  }
+  match->assign(n, 1);
+  for (const ColumnarTerm& t : pred.terms) {
+    switch (t.kind) {
+      case ColumnarTerm::Kind::kCompareColLit:
+        EvalCompareColLit(t, batch.column(t.col_a), n, match->data());
+        break;
+      case ColumnarTerm::Kind::kCompareColCol:
+        EvalCompareColCol(t, batch.column(t.col_a), batch.column(t.col_b), n,
+                          match->data());
+        break;
+      case ColumnarTerm::Kind::kIsNull:
+        EvalIsNull(t, batch.column(t.col_a), n, match->data());
+        break;
+      case ColumnarTerm::Kind::kNever:
+        std::fill(match->begin(), match->end(), uint8_t{0});
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace dbfa::metaquery_internal

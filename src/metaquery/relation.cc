@@ -30,8 +30,8 @@ Result<std::shared_ptr<Relation>> MakeCarvedRelation(
     row.push_back(Value::Int(static_cast<int64_t>(r->page_lsn)));
     rows.push_back(std::move(row));
   }
-  return std::shared_ptr<Relation>(
-      new VectorRelation(std::move(columns), std::move(rows)));
+  return std::shared_ptr<Relation>(new ArtifactRelation(
+      std::move(columns), std::move(rows), carve.string_pool));
 }
 
 namespace {

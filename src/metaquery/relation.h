@@ -63,6 +63,35 @@ class VectorRelation : public Relation {
   size_t estimated_bytes_ = 0;
 };
 
+/// Materialized view over one carved table. Keeps the carve's string pool
+/// alive — carved rows borrow interned string cells from it (StringRef
+/// lifetime rule, docs/columnar_memory.md) — and reports an exact
+/// EstimatedBytes(): the flat row footprint plus the pool's arena/table
+/// accounting, counted once instead of once per occurrence, so
+/// spill_policy kAuto routes on real numbers. The pool is shared by every
+/// relation carved from the same CarveResult, making the estimate
+/// conservative per relation but never wrong in aggregate.
+class ArtifactRelation : public VectorRelation {
+ public:
+  ArtifactRelation(std::vector<std::string> columns, std::vector<Record> rows,
+                   std::shared_ptr<const StringPool> pool)
+      : VectorRelation(std::move(columns), std::move(rows)),
+        pool_(std::move(pool)) {}
+
+  std::optional<size_t> EstimatedBytes() const override {
+    size_t bytes = VectorRelation::EstimatedBytes().value_or(0);
+    if (pool_ != nullptr) bytes += pool_->BytesUsed();
+    return bytes;
+  }
+
+  /// The interning pool backing this relation's string cells; null when the
+  /// carve ran with intern_strings off.
+  const StringPool* string_pool() const { return pool_.get(); }
+
+ private:
+  std::shared_ptr<const StringPool> pool_;
+};
+
 /// Pseudo-columns appended to every carved relation, after the table's own
 /// columns: RowStatus ('ACTIVE'/'DELETED'), PageId, Slot, RowId, PageLsn.
 inline constexpr const char* kRowStatusColumn = "RowStatus";

@@ -11,14 +11,14 @@ namespace dbfa {
 
 std::string QueryTable::ToText(size_t max_rows) const {
   size_t shown = std::min(rows.size(), max_rows);
-  // Pass 1: column widths. Cell renderings are recomputed in pass 2 rather
-  // than materialized, so memory stays bounded by one row regardless of
-  // how many rows are shown.
+  // Pass 1: column widths via DisplayWidth() — no cell is ever rendered to
+  // a temporary string in either pass, so the only allocation the whole
+  // rendering performs is the single reserve of `out` below.
   std::vector<size_t> widths(columns.size());
   for (size_t i = 0; i < columns.size(); ++i) widths[i] = columns[i].size();
   for (size_t r = 0; r < shown; ++r) {
     for (size_t i = 0; i < columns.size() && i < rows[r].size(); ++i) {
-      widths[i] = std::max(widths[i], rows[r][i].ToString().size());
+      widths[i] = std::max(widths[i], rows[r][i].DisplayWidth());
     }
   }
   // Every emitted line has the same width; reserve the whole rendering up
@@ -27,12 +27,15 @@ std::string QueryTable::ToText(size_t max_rows) const {
   for (size_t w : widths) line += w + 3;
   std::string out;
   out.reserve(line * (shown + 2) + 48);
-  auto emit_cell = [&](const std::string& cell, size_t i) {
-    out += "| ";
-    out += cell;
-    out.append(widths[i] - cell.size() + 1, ' ');
+  // Pass 2: append cells straight into `out` and pad to the column width.
+  auto pad_cell = [&](size_t rendered, size_t i) {
+    out.append(widths[i] - rendered + 1, ' ');
   };
-  for (size_t i = 0; i < columns.size(); ++i) emit_cell(columns[i], i);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out += "| ";
+    out += columns[i];
+    pad_cell(columns[i].size(), i);
+  }
   out += "|\n|";
   for (size_t i = 0; i < columns.size(); ++i) {
     out.append(widths[i] + 2, '-');
@@ -41,7 +44,10 @@ std::string QueryTable::ToText(size_t max_rows) const {
   out += "\n";
   for (size_t r = 0; r < shown; ++r) {
     for (size_t i = 0; i < columns.size(); ++i) {
-      emit_cell(i < rows[r].size() ? rows[r][i].ToString() : "", i);
+      out += "| ";
+      size_t before = out.size();
+      if (i < rows[r].size()) rows[r][i].AppendDisplayTo(&out);
+      pad_cell(out.size() - before, i);
     }
     out += "|\n";
   }
@@ -171,6 +177,7 @@ Result<QueryTable> MetaQuerySession::Execute(const sql::SelectStmt& stmt) {
   metaquery_internal::RelationResolver lookup =
       [this](const std::string& name) { return Lookup(name); };
   last_spill_stats_ = {};
+  last_batch_stats_ = {};
   if (options_.use_reference) {
     last_engine_ = "reference";
     return metaquery_internal::ExecuteReference(stmt, lookup);
@@ -182,7 +189,9 @@ Result<QueryTable> MetaQuerySession::Execute(const sql::SelectStmt& stmt) {
   }
   last_engine_ = "batched";
   return metaquery_internal::ExecuteBatched(stmt, lookup, options_.batch_rows,
-                                            PoolForQuery());
+                                            PoolForQuery(),
+                                            options_.columnar_filter,
+                                            &last_batch_stats_);
 }
 
 }  // namespace dbfa

@@ -55,6 +55,19 @@ enum class SpillPolicy {
   kAuto,
 };
 
+/// Per-query engagement counters for the batched engine's columnar filter
+/// fast path (docs/columnar_memory.md). Batches of a WHERE sweep either
+/// run the columnar kernels or fall back to the row-at-a-time evaluator;
+/// both produce identical rows, so these counters exist purely so tests
+/// and benchmarks can assert which path ran.
+struct BatchExecStats {
+  /// WHERE batches evaluated column-at-a-time.
+  size_t columnar_batches = 0;
+  /// WHERE batches that fell back to row-at-a-time evaluation (unsupported
+  /// predicate shape, ragged rows, or mixed-type columns).
+  size_t row_batches = 0;
+};
+
 /// Execution knobs for MetaQuerySession.
 struct MetaQueryOptions {
   /// Worker threads for batched execution: 1 runs inline on the calling
@@ -78,6 +91,11 @@ struct MetaQueryOptions {
   std::string spill_dir;
   /// How memory_budget_bytes engages the out-of-core engine.
   SpillPolicy spill_policy = SpillPolicy::kAlways;
+  /// Evaluate qualifying WHERE predicates column-at-a-time over per-batch
+  /// flat vectors instead of row-at-a-time (batched engine only). Results
+  /// are bit-identical either way; off exists for differential tests and
+  /// benchmarks.
+  bool columnar_filter = true;
 };
 
 class MetaQuerySession {
@@ -120,6 +138,11 @@ class MetaQuerySession {
   /// "batched", or "out-of-core". Diagnostic hook for spill-policy tests.
   const char* last_engine() const { return last_engine_; }
 
+  /// Columnar-filter engagement of the most recent Query/Execute. All
+  /// zeros when the query had no WHERE sweep (no predicate, predicate
+  /// fused into a join probe, or a non-batched engine ran).
+  const BatchExecStats& last_batch_stats() const { return last_batch_stats_; }
+
  private:
   Result<std::shared_ptr<Relation>> Lookup(const std::string& name) const;
 
@@ -131,6 +154,7 @@ class MetaQuerySession {
 
   MetaQueryOptions options_;
   SpillStats last_spill_stats_;
+  BatchExecStats last_batch_stats_;
   const char* last_engine_ = "";
   /// Guards the lazily created worker pool. Pool creation races when
   /// several threads issue this session's first parallel query; the

@@ -35,7 +35,7 @@ void AppendValue(const Value& v, std::string* out) {
       AppendU64(std::bit_cast<uint64_t>(v.as_double()), out);
       break;
     case ValueType::kString: {
-      const std::string& s = v.as_string();
+      const std::string_view s = v.as_string();
       AppendU32(static_cast<uint32_t>(s.size()), out);
       out->append(s);
       break;
@@ -132,7 +132,12 @@ size_t EstimateRecordMemoryBytes(const Record& r) {
   // string alternative owns heap bytes proportional to its size.
   size_t bytes = sizeof(Record) + r.size() * sizeof(Value);
   for (const Value& v : r) {
-    if (v.type() == ValueType::kString) bytes += v.as_string().size();
+    // Interned strings live in their pool's arena, which the pool owner
+    // accounts for once (ArtifactRelation::EstimatedBytes); counting them
+    // per cell here would bill shared bytes per occurrence.
+    if (v.type() == ValueType::kString && !v.is_interned()) {
+      bytes += v.as_string().size();
+    }
   }
   return bytes;
 }

@@ -1,10 +1,12 @@
 #include "storage/page_formatter.h"
 
+#include <array>
 #include <bit>
 #include <cctype>
 #include <cmath>
 #include <cstring>
 
+#include "common/string_pool.h"
 #include "common/strings.h"
 
 namespace dbfa {
@@ -312,7 +314,7 @@ Result<Bytes> PageFormatter::EncodeRecord(const TableSchema& schema,
         continue;
       }
       if (v.type() == ValueType::kString) {
-        const std::string& s = v.as_string();
+        const std::string_view s = v.as_string();
         if (s.size() > 0xFFFF) {
           return Status::InvalidArgument("string too long");
         }
@@ -351,7 +353,7 @@ Result<Bytes> PageFormatter::EncodeRecord(const TableSchema& schema,
       WriteU16(&out[dir_pos + 2 * k], static_cast<uint16_t>(out.size()),
                p_.big_endian);
       if (!v.is_null() && v.type() == ValueType::kString) {
-        const std::string& s = v.as_string();
+        const std::string_view s = v.as_string();
         AppendBytes(&out, s.data(), s.size());
       }
     }
@@ -427,10 +429,19 @@ Result<PageFormatter::RecordHeaderLayout> PageFormatter::ParseHeader(
 
 Result<ParsedRecord> PageFormatter::ParseRecordAt(ByteView page,
                                                   uint16_t offset) const {
+  ParsedRecord rec;
+  DBFA_RETURN_IF_ERROR(ParseRecordAt(page, offset, &rec));
+  return rec;
+}
+
+Status PageFormatter::ParseRecordAt(ByteView page, uint16_t offset,
+                                    ParsedRecord* out) const {
   uint16_t record_len = 0;
   DBFA_ASSIGN_OR_RETURN(RecordHeaderLayout h,
                         ParseHeader(page, offset, &record_len));
-  ParsedRecord rec;
+  ParsedRecord& rec = *out;
+  rec.fields.clear();
+  rec.row_id = 0;
   rec.offset = offset;
   rec.length = record_len;
   rec.row_marker_deleted = page[offset] == p_.deleted_marker;
@@ -445,6 +456,7 @@ Result<ParsedRecord> PageFormatter::ParseRecordAt(ByteView page,
     }
   }
   const size_t record_end = static_cast<size_t>(offset) + record_len;
+  rec.fields.reserve(h.column_count);
 
   if (p_.string_mode == StringMode::kInlineSizes) {
     size_t pos = h.payload_pos;
@@ -459,20 +471,26 @@ Result<ParsedRecord> PageFormatter::ParseRecordAt(ByteView page,
       }
       RawField f;
       f.is_null = BitmapGet(h.null_bitmap, i);
-      f.bytes.assign(page.data() + pos, page.data() + pos + len);
+      f.bytes = ByteView(page.data() + pos, len);
       pos += len;
       rec.fields.push_back(std::move(f));
     }
   } else {
-    size_t string_count = h.column_count - h.numeric_count;
+    if (h.numeric_count > h.column_count) {
+      return Status::Corruption("numeric count exceeds column count");
+    }
+    size_t string_count =
+        static_cast<size_t>(h.column_count) - h.numeric_count;
     size_t pos = h.payload_pos;
     size_t numeric_pos = pos;
     size_t dir_pos = pos + 8ull * h.numeric_count;
     if (dir_pos + 2 * string_count > record_end) {
       return Status::Corruption("directory record truncated");
     }
-    // Read string offsets; they must be non-decreasing and inside the record.
-    std::vector<uint16_t> offsets(string_count);
+    // Read string offsets; they must be non-decreasing and inside the
+    // record. Stack storage: column_count is a uint8_t, so at most 255
+    // entries — no per-record heap allocation on the parse hot path.
+    std::array<uint16_t, 255> offsets;
     for (size_t k = 0; k < string_count; ++k) {
       offsets[k] = ReadU16(page.data() + dir_pos + 2 * k, p_.big_endian);
       size_t abs = static_cast<size_t>(offset) + offsets[k];
@@ -495,14 +513,14 @@ Result<ParsedRecord> PageFormatter::ParseRecordAt(ByteView page,
         size_t end = next_string + 1 < string_count
                          ? static_cast<size_t>(offset) + offsets[next_string + 1]
                          : record_end;
-        f.bytes.assign(page.data() + begin, page.data() + end);
+        f.bytes = ByteView(page.data() + begin, end - begin);
         ++next_string;
       } else {
         if (next_numeric >= h.numeric_count) {
           return Status::Corruption("type bitmap disagrees with counts");
         }
         const uint8_t* np = page.data() + numeric_pos + 8 * next_numeric;
-        f.bytes.assign(np, np + 8);
+        f.bytes = ByteView(np, 8);
         ++next_numeric;
       }
       rec.fields.push_back(std::move(f));
@@ -511,7 +529,7 @@ Result<ParsedRecord> PageFormatter::ParseRecordAt(ByteView page,
       return Status::Corruption("type bitmap disagrees with counts");
     }
   }
-  return rec;
+  return Status::Ok();
 }
 
 bool PageFormatter::IsDeleted(const ParsedRecord& rec,
@@ -566,8 +584,22 @@ Status PageFormatter::MarkDeleted(uint8_t* page, uint16_t slot) const {
   return Status::Internal("unknown delete strategy");
 }
 
+namespace {
+
+// One string cell: interned into `pool` when decoding into a carve pool,
+// an owning std::string otherwise.
+Value MakeStringValue(ByteView bytes, StringPool* pool) {
+  if (pool != nullptr) {
+    return Value::InternedStr(pool->Intern(AsStringView(bytes)));
+  }
+  return Value::Str(std::string(AsStringView(bytes)));
+}
+
+}  // namespace
+
 Result<Record> PageFormatter::DecodeTyped(const ParsedRecord& rec,
-                                          const TableSchema& schema) const {
+                                          const TableSchema& schema,
+                                          StringPool* pool) const {
   if (rec.fields.size() != schema.columns.size()) {
     return Status::Corruption(
         StrFormat("carved arity %zu != schema arity %zu", rec.fields.size(),
@@ -599,15 +631,15 @@ Result<Record> PageFormatter::DecodeTyped(const ParsedRecord& rec,
         break;
       }
       case ColumnType::kVarchar:
-        out.push_back(Value::Str(
-            std::string(f.bytes.begin(), f.bytes.end())));
+        out.push_back(MakeStringValue(f.bytes, pool));
         break;
     }
   }
   return out;
 }
 
-Record PageFormatter::DecodeUntyped(const ParsedRecord& rec) const {
+Record PageFormatter::DecodeUntyped(const ParsedRecord& rec,
+                                    StringPool* pool) const {
   Record out;
   out.reserve(rec.fields.size());
   for (const RawField& f : rec.fields) {
@@ -618,7 +650,7 @@ Record PageFormatter::DecodeUntyped(const ParsedRecord& rec) const {
     bool treat_as_string = f.is_string_hint ||
                            (f.bytes.size() != 8 || MostlyPrintable(f.bytes));
     if (treat_as_string) {
-      out.push_back(Value::Str(std::string(f.bytes.begin(), f.bytes.end())));
+      out.push_back(MakeStringValue(f.bytes, pool));
       continue;
     }
     uint64_t bits = ReadU64(f.bytes.data(), p_.big_endian);
@@ -758,7 +790,7 @@ void AppendKeyValues(Bytes* out, const std::vector<Value>& keys,
       continue;
     }
     if (k.type() == ValueType::kString) {
-      const std::string& s = k.as_string();
+      const std::string_view s = k.as_string();
       uint8_t lb[2];
       WriteU16(lb, static_cast<uint16_t>(s.size()), big_endian);
       AppendBytes(out, lb, 2);
@@ -819,6 +851,7 @@ Result<ParsedIndexEntry> PageFormatter::ParseIndexEntryAt(
   pos += consumed;
   if (pos >= entry_end) return Status::Corruption("index entry truncated");
   uint8_t key_count = page[pos++];
+  entry.keys.reserve(key_count);
   for (uint8_t k = 0; k < key_count; ++k) {
     if (pos + 3 > entry_end) return Status::Corruption("index key truncated");
     uint8_t type_tag = page[pos++];

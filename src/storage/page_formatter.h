@@ -48,6 +48,8 @@
 
 namespace dbfa {
 
+class StringPool;
+
 /// Physical location of a record: page id within an object file + slot.
 /// This is the "RowID reflects the physical location of a record including
 /// its PageID" pseudo-column of Section III-C.
@@ -70,7 +72,12 @@ struct SlotInfo {
 
 /// One raw column value recovered from a record.
 struct RawField {
-  Bytes bytes;
+  /// View into the parsed page — not a copy. Valid only while the page
+  /// bytes outlive the ParsedRecord and stay unmodified; every decoder
+  /// consumes fields before the page goes away (the carve content pass
+  /// decodes record-at-a-time), which keeps record parsing free of
+  /// per-cell heap allocations.
+  ByteView bytes;
   bool is_null = false;
   bool is_string_hint = false;  // from the type bitmap (directory mode)
 };
@@ -156,17 +163,28 @@ class PageFormatter {
   /// Parses the record starting at `offset`. Fails on malformed bytes.
   Result<ParsedRecord> ParseRecordAt(ByteView page, uint16_t offset) const;
 
+  /// Scratch-reuse variant for per-record hot loops (the carve content
+  /// pass): overwrites `*out`, reusing its `fields` capacity, so steady
+  /// state parses allocate nothing. `*out` is unspecified on error.
+  Status ParseRecordAt(ByteView page, uint16_t offset,
+                       ParsedRecord* out) const;
+
   /// True when the dialect's delete strategy says this record is deleted.
   /// `slot_tombstoned` must come from the record's slot entry.
   bool IsDeleted(const ParsedRecord& rec, bool slot_tombstoned) const;
 
-  /// Resolves raw fields to typed values using a known schema.
-  Result<Record> DecodeTyped(const ParsedRecord& rec,
-                             const TableSchema& schema) const;
+  /// Resolves raw fields to typed values using a known schema. When `pool`
+  /// is non-null, string cells are interned into it (Value::InternedStr —
+  /// no per-cell heap allocation, repeated values stored once); the pool
+  /// must then outlive the returned Record.
+  Result<Record> DecodeTyped(const ParsedRecord& rec, const TableSchema& schema,
+                             StringPool* pool = nullptr) const;
 
   /// Best-effort type inference when no schema is available (printable runs
-  /// become strings, 8-byte fields become integers).
-  Record DecodeUntyped(const ParsedRecord& rec) const;
+  /// become strings, 8-byte fields become integers). Same `pool` contract
+  /// as DecodeTyped.
+  Record DecodeUntyped(const ParsedRecord& rec,
+                       StringPool* pool = nullptr) const;
 
   /// Scans the whole data region byte-by-byte for parseable records,
   /// ignoring the slot directory. Used for corrupted pages and for

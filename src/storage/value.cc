@@ -40,25 +40,66 @@ int Value::Compare(const Value& a, const Value& b) {
     return x < y ? -1 : (x > y ? 1 : 0);
   }
   if (a_num != b_num) return a_num ? -1 : 1;  // numbers before strings
-  return a.as_string().compare(b.as_string()) < 0
-             ? -1
-             : (a.as_string() == b.as_string() ? 0 : 1);
+  if (a.is_interned() && b.is_interned()) {
+    const StringRef& ra = a.interned_ref();
+    const StringRef& rb = b.interned_ref();
+    // Same pool + same id means the exact same interned string.
+    if (ra.pool_id != 0 && ra.pool_id == rb.pool_id && ra.id == rb.id) {
+      return 0;
+    }
+  }
+  std::string_view sa = a.as_string();
+  std::string_view sb = b.as_string();
+  int c = sa.compare(sb);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+void Value::AppendDisplayTo(std::string* out) const {
+  switch (type()) {
+    case ValueType::kNull:
+      out->append("NULL");
+      return;
+    case ValueType::kInt: {
+      char buf[24];
+      int n = std::snprintf(buf, sizeof(buf), "%lld",
+                            static_cast<long long>(as_int()));
+      out->append(buf, static_cast<size_t>(n));
+      return;
+    }
+    case ValueType::kDouble: {
+      char buf[32];
+      int n = std::snprintf(buf, sizeof(buf), "%.6g", as_double());
+      out->append(buf, static_cast<size_t>(n));
+      return;
+    }
+    case ValueType::kString:
+      out->append(as_string());
+      return;
+  }
+  out->append("?");
+}
+
+size_t Value::DisplayWidth() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 4;
+    case ValueType::kInt:
+      return static_cast<size_t>(std::snprintf(
+          nullptr, 0, "%lld", static_cast<long long>(as_int())));
+    case ValueType::kDouble:
+      return static_cast<size_t>(
+          std::snprintf(nullptr, 0, "%.6g", as_double()));
+    case ValueType::kString:
+      return as_string().size();
+  }
+  return 1;
 }
 
 std::string Value::ToString() const {
-  switch (type()) {
-    case ValueType::kNull:
-      return "NULL";
-    case ValueType::kInt:
-      return std::to_string(as_int());
-    case ValueType::kDouble: {
-      std::string s = StrFormat("%.6g", as_double());
-      return s;
-    }
-    case ValueType::kString:
-      return as_string();
-  }
-  return "?";
+  std::string out;
+  out.reserve(DisplayWidth());
+  AppendDisplayTo(&out);
+  return out;
 }
 
 std::string Value::ToSqlLiteral() const {
@@ -82,7 +123,11 @@ size_t Value::Hash() const {
       return std::hash<double>{}(d);
     }
     case ValueType::kString:
-      return std::hash<std::string>{}(as_string());
+      // Interned refs cache HashStringContent(content) at intern time, so
+      // both branches hash identical content identically — the invariant
+      // HashRecord/CompareRecords compatibility rests on.
+      if (is_interned()) return interned_ref().hash;
+      return HashStringContent(as_string());
   }
   return 0;
 }
@@ -106,10 +151,17 @@ size_t HashRecord(const Record& r) {
 }
 
 std::string RecordToString(const Record& r) {
-  std::string out = "(";
+  std::string out;
+  size_t width = 2;  // parens
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (i != 0) width += 2;  // ", "
+    width += r[i].DisplayWidth();
+  }
+  out.reserve(width);
+  out += "(";
   for (size_t i = 0; i < r.size(); ++i) {
     if (i != 0) out += ", ";
-    out += r[i].ToString();
+    r[i].AppendDisplayTo(&out);
   }
   out += ")";
   return out;

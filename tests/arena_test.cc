@@ -1,0 +1,104 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace dbfa {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  std::vector<std::pair<char*, size_t>> blocks;
+  for (size_t n : {1u, 7u, 8u, 64u, 3u, 129u}) {
+    char* p = arena.Allocate(n);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(std::max_align_t), 0u)
+        << "n=" << n;
+    std::memset(p, 0xAB, n);  // ASan/valgrind would flag an overlap or OOB
+    blocks.emplace_back(p, n);
+  }
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    for (size_t j = i + 1; j < blocks.size(); ++j) {
+      char* a = blocks[i].first;
+      char* b = blocks[j].first;
+      EXPECT_TRUE(a + blocks[i].second <= b || b + blocks[j].second <= a)
+          << "blocks " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(ArenaTest, RespectsExplicitAlignment) {
+  Arena arena;
+  arena.Allocate(1);  // misalign the bump cursor
+  for (size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    char* p = arena.Allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(ArenaTest, ChunksGrowGeometricallyAndOversizedGetsDedicatedChunk) {
+  Arena arena(/*initial_chunk_bytes=*/64);
+  EXPECT_EQ(arena.chunk_count(), 0u);  // chunks appear on first use
+  arena.Allocate(1);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+
+  // Filling well past the first chunk forces growth; doubling keeps the
+  // chunk count logarithmic in the bytes allocated.
+  for (int i = 0; i < 200; ++i) arena.Allocate(16, /*align=*/1);
+  size_t chunks_after_fill = arena.chunk_count();
+  EXPECT_GE(chunks_after_fill, 2u);
+  EXPECT_LE(chunks_after_fill, 8u);
+
+  // An allocation larger than kMaxChunkBytes gets its own exactly-sized
+  // chunk instead of distorting the growth schedule.
+  size_t before = arena.bytes_reserved();
+  char* big = arena.Allocate(Arena::kMaxChunkBytes + 123, /*align=*/1);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5C, Arena::kMaxChunkBytes + 123);
+  EXPECT_EQ(arena.chunk_count(), chunks_after_fill + 1);
+  EXPECT_GE(arena.bytes_reserved(), before + Arena::kMaxChunkBytes + 123);
+}
+
+TEST(ArenaTest, AccountingTracksUsedAndReserved) {
+  Arena arena(/*initial_chunk_bytes=*/128);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+
+  arena.Allocate(100, /*align=*/1);
+  EXPECT_EQ(arena.bytes_used(), 100u);
+  EXPECT_GE(arena.bytes_reserved(), 128u);
+
+  // Alignment padding counts as used: the padded bytes are not available
+  // to later allocations.
+  arena.Allocate(1, /*align=*/1);
+  size_t used_before = arena.bytes_used();
+  arena.Allocate(8, /*align=*/8);
+  EXPECT_GE(arena.bytes_used(), used_before + 8);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(ArenaTest, PointersStayValidAcrossGrowth) {
+  Arena arena(/*initial_chunk_bytes=*/64);
+  // Write a distinct pattern into early allocations, then allocate enough
+  // to grow the arena many times; the early bytes must be untouched (bump
+  // allocators never move or reuse handed-out memory).
+  char* first = arena.Allocate(32, /*align=*/1);
+  std::memset(first, 0x11, 32);
+  for (int i = 0; i < 10000; ++i) arena.Allocate(64, /*align=*/1);
+  for (size_t i = 0; i < 32; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(first[i]), 0x11u) << "byte " << i;
+  }
+}
+
+TEST(ArenaTest, ZeroByteAllocationIsValid) {
+  Arena arena;
+  char* p = arena.Allocate(0);
+  EXPECT_NE(p, nullptr);
+}
+
+}  // namespace
+}  // namespace dbfa

@@ -72,7 +72,7 @@ TEST_P(CarverDialectTest, CarvesActiveAndDeletedRecordsWithTypes) {
   std::set<std::string> deleted_names;
   for (const CarvedRecord* r : deleted) {
     EXPECT_TRUE(r->typed);
-    deleted_names.insert(r->values[1].as_string());
+    deleted_names.insert(std::string(r->values[1].as_string()));
   }
   EXPECT_EQ(deleted_names,
             (std::set<std::string>{"Jane", "Christopher"}));

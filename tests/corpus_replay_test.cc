@@ -8,8 +8,13 @@
 #include <string>
 #include <vector>
 
+#include "common/string_pool.h"
+#include "core/carver.h"
+#include "engine/catalog.h"
 #include "fuzz/corpus.h"
 #include "fuzz/mutators.h"
+#include "storage/dialects.h"
+#include "storage/disk_image.h"
 
 namespace dbfa {
 namespace {
@@ -70,6 +75,59 @@ TEST(CorpusInventory, MeetsTheAcceptanceBar) {
   EXPECT_TRUE(has_wipe_repair)
       << "no wiped+checksum-repaired corpus entry";
   EXPECT_TRUE(has_confusion) << "no dialect-confusion corpus entry";
+}
+
+// Interned-decode accounting over the whole committed corpus: every
+// adversarial image is carved with interning on (the default), and every
+// interned string cell must alias the pool's canonical copy — same data
+// pointer, same id — with the pool's byte accounting internally consistent.
+// A dangling or aliasing StringRef coming out of a hostile decode would
+// fail the Find/pointer checks here (and light up ASan in that CI leg).
+TEST(CorpusInventory, InternedCarvePoolAccountingIsConsistent) {
+  for (const std::string& sidecar : Sidecars()) {
+    auto entry = LoadCorpusEntry(sidecar);
+    ASSERT_TRUE(entry.ok()) << sidecar << ": " << entry.status().ToString();
+    fs::path image_path =
+        fs::path(sidecar).parent_path() / (entry->name + ".img");
+    auto image = LoadImage(image_path.string());
+    ASSERT_TRUE(image.ok()) << image.status().ToString();
+    auto params = GetDialect(entry->dialect);
+    ASSERT_TRUE(params.ok()) << params.status().ToString();
+    CarverConfig config;
+    config.params = *params;
+    config.catalog_object_id = kCatalogObjectId;
+    auto carve = Carver(config).Carve(*image);
+    ASSERT_TRUE(carve.ok()) << entry->name << ": "
+                            << carve.status().ToString();
+    ASSERT_NE(carve->string_pool, nullptr) << entry->name;
+    const StringPool& pool = *carve->string_pool;
+
+    // Byte accounting: the shard arenas pack string content with no
+    // per-allocation padding, so used bytes equal the distinct content
+    // bytes exactly; reservations and BytesUsed() only add on top.
+    StringPool::Stats stats = pool.GetStats();
+    EXPECT_EQ(stats.arena_bytes_used, stats.string_bytes) << entry->name;
+    EXPECT_GE(stats.arena_bytes_reserved, stats.arena_bytes_used);
+    EXPECT_GE(pool.BytesUsed(),
+              stats.arena_bytes_reserved + stats.table_bytes);
+
+    size_t interned_cells = 0;
+    for (const CarvedRecord& r : carve->records) {
+      for (const Value& v : r.values) {
+        if (v.type() == ValueType::kString && v.is_interned()) {
+          ++interned_cells;
+          const StringRef& ref = v.interned_ref();
+          ASSERT_EQ(ref.pool_id, pool.pool_id()) << entry->name;
+          auto canonical = pool.Find(ref.view());
+          ASSERT_TRUE(canonical.has_value()) << entry->name;
+          ASSERT_EQ(canonical->data, ref.data) << entry->name;
+          ASSERT_EQ(canonical->id, ref.id) << entry->name;
+        }
+      }
+    }
+    // Cells can only reference strings the pool owns.
+    EXPECT_GE(interned_cells, 0u);
+  }
 }
 
 }  // namespace

@@ -206,6 +206,30 @@ class MetaQueryDifferentialTest : public ::testing::Test {
                                     batch_rows, query.c_str()));
         }
       }
+      // Columnar leg: the batched runs above execute with the columnar
+      // WHERE filter enabled (the default); the same grid with the
+      // columnar kernels forced off must produce the identical table, so
+      // any divergence between the two filter implementations is caught
+      // here query-by-query. 8 threads stresses engagement bookkeeping
+      // under real interleavings (this suite runs under TSan).
+      for (size_t threads : {1u, 2u, 8u}) {
+        for (size_t batch_rows : {64u, 1024u}) {
+          MetaQueryOptions options;
+          options.num_threads = threads;
+          options.batch_rows = batch_rows;
+          options.columnar_filter = false;
+          MetaQuerySession session(options);
+          session.Register("T1", t1);
+          session.Register("T2", t2);
+          auto actual = session.Query(query);
+          ASSERT_TRUE(actual.ok())
+              << query << ": " << actual.status().ToString();
+          ExpectSameTable(*expected, *actual,
+                          StrFormat("[columnar=off threads=%zu batch=%zu] %s",
+                                    threads, batch_rows, query.c_str()));
+          EXPECT_EQ(session.last_batch_stats().columnar_batches, 0u) << query;
+        }
+      }
       // Out-of-core engine: 4 KB spills every operator on these tables,
       // 1 MB spills almost nothing; all budgets must agree with the
       // unlimited runs above at every thread count.

@@ -83,7 +83,7 @@ TEST(SyntheticTest, TamperOverwriteFieldBypassesLogAndIndex) {
                   })
                   .ok());
   ASSERT_FALSE(victim_row.empty());
-  std::string owner = victim_row[1].as_string();
+  std::string owner(victim_row[1].as_string());
   std::string forged(owner.size(), 'X');
   ASSERT_TRUE(TamperOverwriteField(db.get(), "Accounts", victim, "Owner",
                                    Value::Str(forged))

@@ -21,6 +21,13 @@ express, documented in docs/static_analysis.md:
   naked-rand-time   no rand()/srand()/time() in src/: forensic runs must
                     be reproducible; randomness comes from the seeded
                     common/rng.h, timestamps from the virtual clock.
+  hot-loop-string   no std::string construction (std::string temporaries,
+                    std::to_string, stringstreams, .ToString()) inside
+                    regions bracketed by "// dbfa:hot-loop-begin" ...
+                    "// dbfa:hot-loop-end" markers. Those kernels run per
+                    carved row; string work must stay on StringRef /
+                    string_view (pool identity, cached hash, memcmp) or
+                    move outside the loop.
 
 Suppression: append "// dbfa-lint: allow(<rule>): <why>" on the offending
 line or the line above it. File-level exemptions live in allowlist.txt
@@ -43,7 +50,7 @@ import re
 import sys
 
 RULES = ("raw-byte-read", "nodiscard-status", "unordered-iter",
-         "naked-rand-time")
+         "naked-rand-time", "hot-loop-string")
 
 # Directories (relative to the repo root) whose output ordering is part of
 # the bit-identical determinism contract; unordered-iter fires only here.
@@ -300,11 +307,58 @@ def check_rand_time(relpath, code, comments, findings):
             "dbfa::Rng (common/rng.h) or the engine's virtual clock"))
 
 
+# ---- hot-loop-string ------------------------------------------------------
+
+HOT_STRING_RE = re.compile(
+    r"\bstd::(?:string\b(?!_view)|to_string\s*\("
+    r"|[io]?stringstream\b)"
+    r"|(?:\.|->)\s*ToString\s*\(")
+
+
+def hot_loop_regions(comments):
+    """(begin, end) line pairs for "dbfa:hot-loop-begin/end" marker
+    comments; an unmatched begin extends to end-of-file so a deleted end
+    marker cannot silently disable the rule."""
+    begins = sorted(ln for ln, txt in comments.items()
+                    if "dbfa:hot-loop-begin" in txt)
+    ends = sorted(ln for ln, txt in comments.items()
+                  if "dbfa:hot-loop-end" in txt)
+    regions = []
+    ei = 0
+    for b in begins:
+        while ei < len(ends) and ends[ei] <= b:
+            ei += 1
+        e = ends[ei] if ei < len(ends) else float("inf")
+        ei += 1
+        regions.append((b, e))
+    return regions
+
+
+def check_hot_loop_string(relpath, code, comments, findings):
+    regions = hot_loop_regions(comments)
+    if not regions:
+        return
+    for m in HOT_STRING_RE.finditer(code):
+        ln = line_of(m.start(), code)
+        if not any(b < ln < e for b, e in regions):
+            continue
+        if allowed("hot-loop-string", ln, comments, code):
+            continue
+        tok = m.group(0).strip(" \t.(->")
+        findings.append(Finding(
+            relpath, ln, "hot-loop-string",
+            f"{tok} inside a dbfa:hot-loop region; this code runs per "
+            "carved row — compare via StringRef/string_view (pool id, "
+            "cached hash, memcmp) and build strings outside the loop, or "
+            "justify with // dbfa-lint: allow(hot-loop-string): <why>"))
+
+
 CHECKS = {
     "raw-byte-read": check_raw_byte_read,
     "nodiscard-status": check_nodiscard_status,
     "unordered-iter": check_unordered_iter,
     "naked-rand-time": check_rand_time,
+    "hot-loop-string": check_hot_loop_string,
 }
 
 
