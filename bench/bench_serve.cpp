@@ -1,0 +1,127 @@
+// E16 — continuous-audit daemon sustained throughput
+// (docs/continuous_audit.md): a seeded fleet of MiniDB instances ticking
+// against dbfa::AuditDaemon. One iteration is one fleet-wide tick — every
+// instance runs its workload batch, captures storage, and submits — plus a
+// Drain() barrier, so the measured time is the sustained capture-to-audit
+// pipeline rate, not just enqueue cost. Legs scale the fleet: /64 is the
+// CI smoke leg (compared against BENCH_serve.json by tools/check_bench.py),
+// /1000 is the acceptance bar for fleet scale.
+//
+// The delay policy (block_on_full) is used so throughput is measured
+// without dropped captures; queue memory stays bounded either way and the
+// high-water counter proves it. Instances are sized to several pages with
+// a small per-tick mutation so warm ingests exercise the artifact cache —
+// the daemon's steady state.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "serve/audit_daemon.h"
+#include "workload/fleet.h"
+
+namespace {
+
+using namespace dbfa;
+
+namespace fs = std::filesystem;
+
+std::string FreshRoot() {
+  fs::path dir = fs::temp_directory_path() / "bench_serve_root";
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+void BM_ServeSustainedIngest(benchmark::State& state) {
+  FleetOptions fleet_options;
+  fleet_options.instances = static_cast<size_t>(state.range(0));
+  fleet_options.seed_rows = 360;  // a few pages per instance
+  fleet_options.ops_per_tick = 3;
+  fleet_options.attack_rate = 0.02;  // sparse attacks -> finding latency
+  fleet_options.seed = 1303;
+
+  ServeOptions serve_options;
+  serve_options.root = FreshRoot();
+  serve_options.shards = 8;
+  serve_options.queue_capacity = 64;
+  serve_options.block_on_full = true;
+
+  auto fleet = FleetSimulator::Make(fleet_options);
+  if (!fleet.ok()) {
+    state.SkipWithError("fleet setup failed");
+    return;
+  }
+  auto daemon = AuditDaemon::Start(serve_options);
+  if (!daemon.ok()) {
+    state.SkipWithError("daemon start failed");
+    return;
+  }
+  for (size_t i = 0; i < (*fleet)->size(); ++i) {
+    if (!(*daemon)
+             ->AddInstance(FleetSimulator::InstanceName(i), (*fleet)->Config())
+             .ok()) {
+      state.SkipWithError("register failed");
+      return;
+    }
+  }
+
+  // Warmup tick outside the timed region: the first capture of each
+  // instance is the cold full carve + full detection, a one-time cost the
+  // sustained rate should not include.
+  int64_t bytes = 0;
+  auto tick_all = [&]() -> bool {
+    for (size_t i = 0; i < (*fleet)->size(); ++i) {
+      auto image = (*fleet)->Tick(i);
+      if (!image.ok()) return false;
+      bytes += static_cast<int64_t>(image->size());
+      if (!(*daemon)->SubmitCapture(i, std::move(*image), (*fleet)->Log(i))
+               .ok()) {
+        return false;
+      }
+    }
+    (*daemon)->Drain();
+    return true;
+  };
+  if (!tick_all()) {
+    state.SkipWithError("warmup tick failed");
+    return;
+  }
+  bytes = 0;
+
+  for (auto _ : state) {
+    if (!tick_all()) {
+      state.SkipWithError("tick failed");
+      return;
+    }
+  }
+
+  if (!(*daemon)->Shutdown().ok()) {
+    state.SkipWithError("shutdown reported an invariant violation");
+    return;
+  }
+  ServeStats stats = (*daemon)->Stats();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>((*fleet)->size()));
+  state.SetBytesProcessed(bytes);
+  state.counters["instances"] = static_cast<double>((*fleet)->size());
+  state.counters["findings"] = static_cast<double>(stats.findings);
+  state.counters["finding_p50_ms"] = stats.finding_latency.p50 * 1e3;
+  state.counters["finding_p95_ms"] = stats.finding_latency.p95 * 1e3;
+  state.counters["ingest_p50_ms"] = stats.ingest_latency.p50 * 1e3;
+  state.counters["ingest_p95_ms"] = stats.ingest_latency.p95 * 1e3;
+  state.counters["artifact_hit_pct"] = 100.0 * stats.ArtifactHitRate();
+  state.counters["queue_high_water"] =
+      static_cast<double>(stats.MaxQueueHighWater());
+  state.counters["rejected"] = static_cast<double>(stats.captures_rejected);
+}
+BENCHMARK(BM_ServeSustainedIngest)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// A bounded multi-producer/multi-consumer FIFO queue — the backpressure
+// primitive of the continuous-audit daemon (docs/continuous_audit.md).
+//
+// The bound is the contract: a producer that outruns its consumers either
+// gets an immediate reject (TryPush, the daemon's default capture policy)
+// or blocks until a slot frees (Push, the delay policy). Memory held by
+// queued items can therefore never exceed capacity × item size, and the
+// high-water mark records how close a run came to that ceiling.
+//
+// Shutdown follows the drain discipline: Close() stops intake immediately
+// but lets consumers Pop() every item already accepted, so no accepted
+// work is ever dropped. All counters are monotonic and published under the
+// queue mutex, so after the last consumer observes Pop() == false,
+// pushed() == popped() and size() == 0.
+#ifndef DBFA_COMMON_BOUNDED_QUEUE_H_
+#define DBFA_COMMON_BOUNDED_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "common/mutex.h"
+
+namespace dbfa {
+
+/// Outcome of an enqueue attempt. Distinguishing kFull from kClosed lets
+/// producers keep exact backpressure accounting: only kFull is a rejection
+/// (counted in rejected()); kClosed means intake ended.
+enum class QueuePush { kAccepted, kFull, kClosed };
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A zero capacity would deadlock both push paths; clamp to 1.
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Non-blocking enqueue. kFull — counted as a rejection — when the queue
+  /// is at capacity; kClosed (not counted) when intake has stopped.
+  QueuePush TryPush(T item) {
+    MutexLock lock(&mu_);
+    if (closed_) return QueuePush::kClosed;
+    if (items_.size() >= capacity_) {
+      ++rejected_;
+      return QueuePush::kFull;
+    }
+    Enqueue(std::move(item));
+    return QueuePush::kAccepted;
+  }
+
+  /// Blocking enqueue: waits for a free slot. Returns kClosed only when
+  /// the queue is (or becomes) closed while waiting; never kFull.
+  QueuePush Push(T item) {
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&mu_);
+    if (closed_) return QueuePush::kClosed;
+    Enqueue(std::move(item));
+    return QueuePush::kAccepted;
+  }
+
+  /// Blocking dequeue. Returns false when the queue is closed and fully
+  /// drained; until then every accepted item is delivered exactly once.
+  bool Pop(T* out) {
+    MutexLock lock(&mu_);
+    while (items_.empty() && !closed_) not_empty_.Wait(&mu_);
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    ++popped_;
+    not_full_.Signal();
+    return true;
+  }
+
+  /// Stops intake; consumers drain the remainder. Idempotent.
+  void Close() {
+    MutexLock lock(&mu_);
+    closed_ = true;
+    not_empty_.SignalAll();
+    not_full_.SignalAll();
+  }
+
+  bool closed() const {
+    MutexLock lock(&mu_);
+    return closed_;
+  }
+  size_t size() const {
+    MutexLock lock(&mu_);
+    return items_.size();
+  }
+  /// Deepest the queue ever got; never exceeds capacity() by construction.
+  size_t high_water() const {
+    MutexLock lock(&mu_);
+    return high_water_;
+  }
+  uint64_t pushed() const {
+    MutexLock lock(&mu_);
+    return pushed_;
+  }
+  uint64_t popped() const {
+    MutexLock lock(&mu_);
+    return popped_;
+  }
+  /// TryPush calls refused because the queue was at capacity.
+  uint64_t rejected() const {
+    MutexLock lock(&mu_);
+    return rejected_;
+  }
+
+ private:
+  void Enqueue(T item) DBFA_REQUIRES(mu_) {
+    items_.push_back(std::move(item));
+    ++pushed_;
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    not_empty_.Signal();
+  }
+
+  const size_t capacity_;
+  mutable Mutex mu_;
+  CondVar not_empty_;  // signals consumers: item ready / closed
+  CondVar not_full_;   // signals producers: slot free / closed
+  std::deque<T> items_ DBFA_GUARDED_BY(mu_);
+  bool closed_ DBFA_GUARDED_BY(mu_) = false;
+  size_t high_water_ DBFA_GUARDED_BY(mu_) = 0;
+  uint64_t pushed_ DBFA_GUARDED_BY(mu_) = 0;
+  uint64_t popped_ DBFA_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ DBFA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_COMMON_BOUNDED_QUEUE_H_

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

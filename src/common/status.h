@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name such as "INVALID_ARGUMENT".
@@ -70,6 +71,11 @@ class [[nodiscard]] Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  /// Transient refusal: the caller did nothing wrong and may retry later
+  /// (a full backpressure queue, a repository locked by another process).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

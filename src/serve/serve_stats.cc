@@ -1,0 +1,274 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace dbfa {
+namespace {
+
+/// Minimal JSON string escaping for the stats document. Instance names and
+/// error strings are the only free-form text; everything else is numeric.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(
+                                          static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string LatencyJson(const LatencySummary& lat) {
+  return StrFormat(
+      "{\"count\": %llu, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+      "\"max_ms\": %.3f}",
+      static_cast<unsigned long long>(lat.count), lat.p50 * 1e3,
+      lat.p95 * 1e3, lat.max * 1e3);
+}
+
+}  // namespace
+
+LatencySummary SummarizeLatencies(std::vector<double> samples) {
+  LatencySummary out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.count = samples.size();
+  // Nearest-rank: ceil(p * N) as a 1-based rank.
+  auto rank = [&](double p) {
+    size_t r = static_cast<size_t>(
+        std::ceil(p * static_cast<double>(samples.size())));
+    if (r == 0) r = 1;
+    return samples[r - 1];
+  };
+  out.p50 = rank(0.50);
+  out.p95 = rank(0.95);
+  out.max = samples.back();
+  return out;
+}
+
+double ServeStats::ArtifactHitRate() const {
+  uint64_t total = artifacts_reused + artifacts_carved;
+  if (total == 0) return 0.0;
+  return static_cast<double>(artifacts_reused) / static_cast<double>(total);
+}
+
+size_t ServeStats::MaxQueueHighWater() const {
+  size_t max = 0;
+  for (const ShardQueueStats& q : shard_queues) {
+    max = std::max(max, q.high_water);
+  }
+  return max;
+}
+
+Status ServeStats::CheckInvariants() const {
+  uint64_t pushed = 0;
+  uint64_t popped = 0;
+  uint64_t rejected = 0;
+  for (size_t s = 0; s < shard_queues.size(); ++s) {
+    const ShardQueueStats& q = shard_queues[s];
+    pushed += q.pushed;
+    popped += q.popped;
+    rejected += q.rejected;
+    if (q.high_water > queue_capacity) {
+      return Status::Internal(
+          StrFormat("shard %zu queue high-water %zu exceeds capacity %zu", s,
+                    q.high_water, queue_capacity));
+    }
+    if (stopped && q.pushed != q.popped) {
+      return Status::Internal(StrFormat(
+          "shard %zu stranded %llu tasks after drain (pushed %llu popped %llu)",
+          s, static_cast<unsigned long long>(q.pushed - q.popped),
+          static_cast<unsigned long long>(q.pushed),
+          static_cast<unsigned long long>(q.popped)));
+    }
+  }
+  if (captures_submitted != pushed + rejected) {
+    return Status::Internal(StrFormat(
+        "submitted %llu != pushed %llu + rejected %llu",
+        static_cast<unsigned long long>(captures_submitted),
+        static_cast<unsigned long long>(pushed),
+        static_cast<unsigned long long>(rejected)));
+  }
+  if (captures_rejected != rejected) {
+    return Status::Internal(
+        StrFormat("instance rejected %llu != queue rejected %llu",
+                  static_cast<unsigned long long>(captures_rejected),
+                  static_cast<unsigned long long>(rejected)));
+  }
+  if (stopped && captures_completed + captures_failed != popped) {
+    return Status::Internal(StrFormat(
+        "completed %llu + failed %llu != popped %llu",
+        static_cast<unsigned long long>(captures_completed),
+        static_cast<unsigned long long>(captures_failed),
+        static_cast<unsigned long long>(popped)));
+  }
+  // Per-instance counters must sum to the global ones.
+  uint64_t sum_submitted = 0;
+  uint64_t sum_rejected = 0;
+  uint64_t sum_completed = 0;
+  uint64_t sum_failed = 0;
+  uint64_t sum_findings = 0;
+  for (const InstanceServeStats& inst : instances) {
+    sum_submitted += inst.captures_submitted;
+    sum_rejected += inst.captures_rejected;
+    sum_completed += inst.captures_completed;
+    sum_failed += inst.captures_failed;
+    sum_findings += inst.findings;
+  }
+  if (sum_submitted != captures_submitted ||
+      sum_rejected != captures_rejected ||
+      sum_completed != captures_completed ||
+      sum_failed != captures_failed || sum_findings != findings) {
+    return Status::Internal("per-instance totals disagree with global totals");
+  }
+  return Status::Ok();
+}
+
+std::string ServeStats::ToString() const {
+  std::string out = StrFormat(
+      "dbfa_serve: %zu instances, %zu shards (queue capacity %zu)%s\n",
+      instances.size(), shards, queue_capacity, stopped ? ", stopped" : "");
+  out += StrFormat(
+      "  captures: %llu submitted, %llu completed, %llu rejected, %llu "
+      "failed\n",
+      static_cast<unsigned long long>(captures_submitted),
+      static_cast<unsigned long long>(captures_completed),
+      static_cast<unsigned long long>(captures_rejected),
+      static_cast<unsigned long long>(captures_failed));
+  out += StrFormat(
+      "  snapshots: %llu ingested; pages %llu total / %llu reused (%.1f%%)\n",
+      static_cast<unsigned long long>(snapshots),
+      static_cast<unsigned long long>(pages_total),
+      static_cast<unsigned long long>(pages_reused),
+      pages_total == 0 ? 0.0
+                       : 100.0 * static_cast<double>(pages_reused) /
+                             static_cast<double>(pages_total));
+  out += StrFormat(
+      "  artifact cache: %llu reused / %llu carved (%.1f%% hit rate)\n",
+      static_cast<unsigned long long>(artifacts_reused),
+      static_cast<unsigned long long>(artifacts_carved),
+      100.0 * ArtifactHitRate());
+  out += StrFormat("  findings: %llu\n",
+                   static_cast<unsigned long long>(findings));
+  out += StrFormat(
+      "  ingest latency:  p50 %.2f ms  p95 %.2f ms  max %.2f ms (%zu "
+      "samples)\n",
+      ingest_latency.p50 * 1e3, ingest_latency.p95 * 1e3,
+      ingest_latency.max * 1e3, ingest_latency.count);
+  out += StrFormat(
+      "  finding latency: p50 %.2f ms  p95 %.2f ms  max %.2f ms (%zu "
+      "samples)\n",
+      finding_latency.p50 * 1e3, finding_latency.p95 * 1e3,
+      finding_latency.max * 1e3, finding_latency.count);
+  for (size_t s = 0; s < shard_queues.size(); ++s) {
+    const ShardQueueStats& q = shard_queues[s];
+    out += StrFormat(
+        "  shard %zu: pushed %llu, popped %llu, rejected %llu, high-water "
+        "%zu, depth %zu\n",
+        s, static_cast<unsigned long long>(q.pushed),
+        static_cast<unsigned long long>(q.popped),
+        static_cast<unsigned long long>(q.rejected), q.high_water, q.depth);
+  }
+  out += StrFormat("  invariants: %s\n", invariants.c_str());
+  return out;
+}
+
+std::string ServeStats::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"format\": \"dbfa-serve-stats v1\",\n";
+  out += StrFormat("  \"shards\": %zu,\n", shards);
+  out += StrFormat("  \"queue_capacity\": %zu,\n", queue_capacity);
+  out += StrFormat("  \"stopped\": %s,\n", stopped ? "true" : "false");
+  out += StrFormat("  \"captures_submitted\": %llu,\n",
+                   static_cast<unsigned long long>(captures_submitted));
+  out += StrFormat("  \"captures_rejected\": %llu,\n",
+                   static_cast<unsigned long long>(captures_rejected));
+  out += StrFormat("  \"captures_completed\": %llu,\n",
+                   static_cast<unsigned long long>(captures_completed));
+  out += StrFormat("  \"captures_failed\": %llu,\n",
+                   static_cast<unsigned long long>(captures_failed));
+  out += StrFormat("  \"snapshots\": %llu,\n",
+                   static_cast<unsigned long long>(snapshots));
+  out += StrFormat("  \"findings\": %llu,\n",
+                   static_cast<unsigned long long>(findings));
+  out += StrFormat("  \"pages_total\": %llu,\n",
+                   static_cast<unsigned long long>(pages_total));
+  out += StrFormat("  \"pages_reused\": %llu,\n",
+                   static_cast<unsigned long long>(pages_reused));
+  out += StrFormat("  \"artifacts_reused\": %llu,\n",
+                   static_cast<unsigned long long>(artifacts_reused));
+  out += StrFormat("  \"artifacts_carved\": %llu,\n",
+                   static_cast<unsigned long long>(artifacts_carved));
+  out += StrFormat("  \"artifact_hit_rate\": %.4f,\n", ArtifactHitRate());
+  out += StrFormat("  \"max_queue_high_water\": %zu,\n", MaxQueueHighWater());
+  out += StrFormat("  \"ingest_latency\": %s,\n",
+                   LatencyJson(ingest_latency).c_str());
+  out += StrFormat("  \"finding_latency\": %s,\n",
+                   LatencyJson(finding_latency).c_str());
+  out += "  \"shard_queues\": [\n";
+  for (size_t s = 0; s < shard_queues.size(); ++s) {
+    const ShardQueueStats& q = shard_queues[s];
+    out += StrFormat(
+        "    {\"pushed\": %llu, \"popped\": %llu, \"rejected\": %llu, "
+        "\"high_water\": %zu, \"depth\": %zu}%s\n",
+        static_cast<unsigned long long>(q.pushed),
+        static_cast<unsigned long long>(q.popped),
+        static_cast<unsigned long long>(q.rejected), q.high_water, q.depth,
+        s + 1 < shard_queues.size() ? "," : "");
+  }
+  out += "  ],\n";
+  out += "  \"instances\": [\n";
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const InstanceServeStats& inst = instances[i];
+    out += StrFormat(
+        "    {\"name\": \"%s\", \"submitted\": %llu, \"rejected\": %llu, "
+        "\"completed\": %llu, \"failed\": %llu, \"snapshots\": %llu, "
+        "\"findings\": %llu, \"pages_total\": %llu, \"pages_reused\": %llu, "
+        "\"artifacts_reused\": %llu, \"artifacts_carved\": %llu, "
+        "\"ingest_seconds\": %.6f, \"last_error\": \"%s\"}%s\n",
+        JsonEscape(inst.name).c_str(),
+        static_cast<unsigned long long>(inst.captures_submitted),
+        static_cast<unsigned long long>(inst.captures_rejected),
+        static_cast<unsigned long long>(inst.captures_completed),
+        static_cast<unsigned long long>(inst.captures_failed),
+        static_cast<unsigned long long>(inst.snapshots),
+        static_cast<unsigned long long>(inst.findings),
+        static_cast<unsigned long long>(inst.pages_total),
+        static_cast<unsigned long long>(inst.pages_reused),
+        static_cast<unsigned long long>(inst.artifacts_reused),
+        static_cast<unsigned long long>(inst.artifacts_carved),
+        inst.ingest_seconds, JsonEscape(inst.last_error).c_str(),
+        i + 1 < instances.size() ? "," : "");
+  }
+  out += "  ],\n";
+  out += StrFormat("  \"invariants\": \"%s\"\n",
+                   JsonEscape(invariants).c_str());
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dbfa

@@ -1,0 +1,103 @@
+// Counters and latency summaries for the continuous-audit daemon
+// (docs/continuous_audit.md). One InstanceServeStats per supervised
+// instance plus shard-queue counters roll up into a ServeStats snapshot,
+// dumped human-readably (`dbfa_serve --status`) and as a machine-readable
+// JSON stats file consumed by CI's serve-soak job and check_bench.
+#ifndef DBFA_SERVE_SERVE_STATS_H_
+#define DBFA_SERVE_SERVE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbfa {
+
+/// Percentile summary over a set of latency samples (seconds).
+struct LatencySummary {
+  size_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes `samples` (unsorted, seconds). Percentiles use the
+/// nearest-rank rule; an empty set summarizes to all zeros.
+LatencySummary SummarizeLatencies(std::vector<double> samples);
+
+/// Per-instance accounting, updated by the owning shard worker after each
+/// processed capture.
+struct InstanceServeStats {
+  std::string name;
+  uint64_t captures_submitted = 0;
+  uint64_t captures_rejected = 0;  // backpressure refusals
+  uint64_t captures_completed = 0;
+  uint64_t captures_failed = 0;  // ingest/detect returned an error
+  uint64_t snapshots = 0;        // snapshots ingested into the repo
+  uint64_t findings = 0;         // distinct findings emitted to the feed
+  uint64_t pages_total = 0;
+  uint64_t pages_reused = 0;
+  uint64_t artifacts_reused = 0;
+  uint64_t artifacts_carved = 0;
+  double ingest_seconds = 0.0;  // summed capture-processing wall time
+  std::string last_error;       // most recent failure, empty when none
+};
+
+/// Per-shard queue counters, copied out of the BoundedQueues.
+struct ShardQueueStats {
+  uint64_t pushed = 0;
+  uint64_t popped = 0;
+  uint64_t rejected = 0;
+  size_t high_water = 0;
+  size_t depth = 0;  // at snapshot time
+};
+
+/// Point-in-time snapshot of the whole daemon.
+struct ServeStats {
+  size_t shards = 0;
+  size_t queue_capacity = 0;
+  bool stopped = false;
+
+  uint64_t captures_submitted = 0;
+  uint64_t captures_rejected = 0;
+  uint64_t captures_completed = 0;
+  uint64_t captures_failed = 0;
+  uint64_t snapshots = 0;
+  uint64_t findings = 0;
+  uint64_t pages_total = 0;
+  uint64_t pages_reused = 0;
+  uint64_t artifacts_reused = 0;
+  uint64_t artifacts_carved = 0;
+
+  std::vector<ShardQueueStats> shard_queues;
+  LatencySummary ingest_latency;   // submit-side processing time per capture
+  LatencySummary finding_latency;  // capture submit -> finding emitted
+  std::vector<InstanceServeStats> instances;
+
+  /// Result of CheckInvariants at snapshot time ("ok" or the violation).
+  std::string invariants = "ok";
+
+  /// Artifact-cache hit rate over the content passes; 0 when nothing ran.
+  double ArtifactHitRate() const;
+  /// Deepest any shard queue ever got.
+  size_t MaxQueueHighWater() const;
+
+  /// Queue/accounting invariants; only meaningful when the daemon is idle
+  /// (drained or stopped):
+  ///   submitted == rejected + sum(queue pushed)
+  ///   pushed == popped per shard (nothing stranded)
+  ///   completed + failed == sum(queue popped)
+  ///   high_water <= queue_capacity per shard
+  /// plus per-instance totals summing to the global counters.
+  Status CheckInvariants() const;
+
+  /// Multi-line human dump (the `--status` format).
+  std::string ToString() const;
+  /// Machine-readable JSON document ("dbfa-serve-stats v1").
+  std::string ToJson() const;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_SERVE_SERVE_STATS_H_

@@ -1,0 +1,52 @@
+// Repository-level advisory lock for SnapshotRepo directories.
+//
+// Both the one-shot CLIs (dbfa_snapshot, dbfa_detect over a repo) and the
+// continuous-audit daemon open repositories by path; without mutual
+// exclusion a daemon ingest and a concurrent CLI ingest could interleave
+// store appends and manifest commits. The lock is a `repo.lock` file
+// created with O_CREAT|O_EXCL (atomic on every filesystem we care about)
+// holding the owner's PID. A contender that finds the file reads the PID
+// and probes it with kill(pid, 0): a dead owner (crashed process) is
+// detected as stale and the lock is reclaimed; a live owner makes Acquire
+// fail with Status::Unavailable — a clean, retryable refusal, never a
+// corrupt repository.
+#ifndef DBFA_SNAPSHOT_REPO_LOCK_H_
+#define DBFA_SNAPSHOT_REPO_LOCK_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace dbfa {
+
+class RepoLock {
+ public:
+  /// Acquires `<dir>/repo.lock`, reclaiming it first if its recorded owner
+  /// is no longer alive. Returns Status::Unavailable when a live process
+  /// holds it.
+  static Result<RepoLock> Acquire(const std::string& dir);
+
+  /// Releases (unlinks) the lock; moved-from instances release nothing.
+  ~RepoLock();
+
+  RepoLock(RepoLock&& other) noexcept : path_(std::move(other.path_)) {
+    other.path_.clear();
+  }
+  RepoLock& operator=(RepoLock&& other) noexcept;
+  RepoLock(const RepoLock&) = delete;
+  RepoLock& operator=(const RepoLock&) = delete;
+
+  /// Lock-file path; empty for a moved-from (inactive) lock.
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit RepoLock(std::string path) : path_(std::move(path)) {}
+
+  void Release();
+
+  std::string path_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_SNAPSHOT_REPO_LOCK_H_

@@ -159,6 +159,7 @@ Result<std::unique_ptr<SnapshotRepo>> SnapshotRepo::Create(
         StrFormat("snapshot repo: %s already holds a repository",
                   dir.c_str()));
   }
+  DBFA_ASSIGN_OR_RETURN(RepoLock lock, RepoLock::Acquire(dir));
   std::string meta = StrFormat(
       "%s\nscan_step %zu\nparse_bad_checksum_pages %d\nraw_scan_fallback "
       "%d\n",
@@ -170,6 +171,7 @@ Result<std::unique_ptr<SnapshotRepo>> SnapshotRepo::Create(
       WriteTextFile((root / "carver.conf").string(), ConfigToText(config)));
 
   std::unique_ptr<SnapshotRepo> repo(new SnapshotRepo(dir, config, options));
+  repo->lock_ = std::move(lock);
   DBFA_ASSIGN_OR_RETURN(
       repo->page_store_,
       PageStore::Open((root / "pages.bin").string(), config.params.page_size));
@@ -215,7 +217,12 @@ Result<std::unique_ptr<SnapshotRepo>> SnapshotRepo::Open(
   DBFA_RETURN_IF_ERROR(ReadTextFile((root / "carver.conf").string(), &conf));
   DBFA_ASSIGN_OR_RETURN(CarverConfig config, ConfigFromText(conf));
 
+  // Lock after the meta probe (so opening a non-repository directory stays
+  // a NotFound-style failure, not a stray lock file) but before touching
+  // the mutable files below.
+  DBFA_ASSIGN_OR_RETURN(RepoLock lock, RepoLock::Acquire(dir));
   std::unique_ptr<SnapshotRepo> repo(new SnapshotRepo(dir, config, options));
+  repo->lock_ = std::move(lock);
   DBFA_ASSIGN_OR_RETURN(
       repo->page_store_,
       PageStore::Open((root / "pages.bin").string(), config.params.page_size));

@@ -25,6 +25,7 @@
 #define DBFA_SNAPSHOT_SNAPSHOT_REPO_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "metaquery/session.h"
 #include "snapshot/artifact_cache.h"
 #include "snapshot/page_store.h"
+#include "snapshot/repo_lock.h"
 #include "snapshot/snapshot_codec.h"
 
 namespace dbfa {
@@ -137,6 +139,12 @@ class SnapshotRepo {
       CarveOptions options = {});
 
   /// Opens an existing repository, restoring config + options from disk.
+  ///
+  /// Both factories take the repository's `repo.lock` (snapshot/repo_lock.h)
+  /// and hold it for the repository's lifetime, so a long-running daemon
+  /// ingest and a concurrent one-shot CLI can never interleave store appends
+  /// or a manifest commit: the loser gets Status::Unavailable, never a
+  /// corrupt repository. A lock left by a crashed process is reclaimed.
   static Result<std::unique_ptr<SnapshotRepo>> Open(const std::string& dir,
                                                     size_t num_threads = 0);
 
@@ -224,6 +232,7 @@ class SnapshotRepo {
   std::string dir_;
   CarverConfig config_;
   CarveOptions options_;
+  std::optional<RepoLock> lock_;  // held for the repository's lifetime
   Carver carver_;
   std::unique_ptr<PageStore> page_store_;
   std::unique_ptr<ArtifactCache> artifact_cache_;

@@ -1,0 +1,70 @@
+#include "workload/fleet.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "engine/catalog.h"
+#include "storage/dialects.h"
+
+namespace dbfa {
+
+FleetSimulator::FleetSimulator(FleetOptions options)
+    : options_(std::move(options)) {}
+
+std::string FleetSimulator::InstanceName(size_t i) {
+  return StrFormat("inst-%04zu", i);
+}
+
+CarverConfig FleetSimulator::Config() const {
+  CarverConfig config;
+  config.params = GetDialect(options_.dialect).value();
+  config.catalog_object_id = kCatalogObjectId;
+  return config;
+}
+
+Result<std::unique_ptr<FleetSimulator>> FleetSimulator::Make(
+    FleetOptions options) {
+  if (options.instances == 0) {
+    return Status::InvalidArgument("fleet: need at least one instance");
+  }
+  auto dialect = GetDialect(options.dialect);
+  if (!dialect.ok()) return dialect.status();
+
+  std::unique_ptr<FleetSimulator> fleet(
+      new FleetSimulator(std::move(options)));
+  for (size_t i = 0; i < fleet->options_.instances; ++i) {
+    auto node = std::make_unique<Node>();
+    DatabaseOptions db_options;
+    db_options.dialect = fleet->options_.dialect;
+    DBFA_ASSIGN_OR_RETURN(node->db, Database::Open(db_options));
+    node->workload = std::make_unique<SyntheticWorkload>(
+        node->db.get(), "Accounts",
+        fleet->options_.seed + 0x9E37 * (i + 1));
+    DBFA_RETURN_IF_ERROR(node->workload->Setup(fleet->options_.seed_rows));
+    node->rng = std::make_unique<Rng>(fleet->options_.seed ^ (i * 2654435761u));
+    fleet->nodes_.push_back(std::move(node));
+  }
+  return fleet;
+}
+
+Result<Bytes> FleetSimulator::Tick(size_t i) {
+  if (i >= nodes_.size()) {
+    return Status::InvalidArgument(StrFormat("fleet: no instance %zu", i));
+  }
+  Node& node = *nodes_[i];
+  DBFA_RETURN_IF_ERROR(
+      node.workload->Run(options_.ops_per_tick, OpMix{}, /*logged=*/true));
+  if (options_.attack_rate > 0.0 && node.rng->Bernoulli(options_.attack_rate)) {
+    // The privileged-user attack: an INSERT executed while logging is off.
+    // Ids live in a space the workload generator never reaches, so the
+    // statement always succeeds and leaves a guaranteed storage artifact.
+    ++node.attacks;
+    std::string sql = StrFormat(
+        "INSERT INTO Accounts VALUES (%zu, 'Mallory', 'Nowhere', 13.37)",
+        1000000 + node.attacks);
+    DBFA_RETURN_IF_ERROR(node.workload->RunStatement(sql, /*logged=*/false));
+  }
+  return node.db->SnapshotDisk();
+}
+
+}  // namespace dbfa

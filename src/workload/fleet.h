@@ -1,0 +1,83 @@
+// FleetSimulator: a seeded fleet of independent MiniDB instances for
+// exercising the continuous-audit daemon (serve/audit_daemon.h) at scale.
+//
+// Each instance runs its own SyntheticWorkload; per tick it executes a
+// batch of logged operations, optionally injects the Section III-A attack
+// (a statement executed while the audit log is disabled), and produces a
+// storage capture. The simulator keeps ground truth per instance — which
+// ones were attacked — so a driver can score the daemon's findings feed:
+// clean instances must produce zero findings, attacked instances at least
+// one once a post-attack capture has been audited.
+#ifndef DBFA_WORKLOAD_FLEET_H_
+#define DBFA_WORKLOAD_FLEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/carver.h"
+#include "engine/database.h"
+#include "workload/synthetic.h"
+
+namespace dbfa {
+
+struct FleetOptions {
+  size_t instances = 8;
+  std::string dialect = "postgres_like";
+  /// Seed rows per instance (logged, part of Setup).
+  int seed_rows = 24;
+  /// Logged operations per instance per tick.
+  int ops_per_tick = 6;
+  /// Probability per instance-tick of injecting one unlogged INSERT — the
+  /// privileged-user attack. 0 keeps the whole fleet clean.
+  double attack_rate = 0.0;
+  uint64_t seed = 42;
+};
+
+class FleetSimulator {
+ public:
+  /// Builds and seeds every instance (CREATE TABLE + seed rows).
+  static Result<std::unique_ptr<FleetSimulator>> Make(FleetOptions options);
+
+  const FleetOptions& options() const { return options_; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Stable instance name, e.g. "inst-0042".
+  static std::string InstanceName(size_t i);
+
+  /// The carver config matching the fleet's dialect (what each instance's
+  /// snapshot repository must be created with).
+  CarverConfig Config() const;
+
+  /// Advances instance `i` by one tick: runs the logged op batch, rolls
+  /// the attack dice, and returns a fresh storage capture.
+  Result<Bytes> Tick(size_t i);
+
+  /// The instance's live audit log (grows with each tick; copy it at
+  /// capture time to model what an investigator collected).
+  const AuditLog& Log(size_t i) const { return nodes_[i]->db->audit_log(); }
+
+  /// Ground truth: unlogged statements injected into instance `i` so far.
+  size_t Attacks(size_t i) const { return nodes_[i]->attacks; }
+
+ private:
+  /// One instance. unique_ptr keeps nodes movable (Database is not).
+  struct Node {
+    std::unique_ptr<Database> db;
+    std::unique_ptr<SyntheticWorkload> workload;
+    std::unique_ptr<Rng> rng;
+    size_t attacks = 0;
+  };
+
+  explicit FleetSimulator(FleetOptions options);
+
+  FleetOptions options_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_WORKLOAD_FLEET_H_

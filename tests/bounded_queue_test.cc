@@ -1,0 +1,133 @@
+// BoundedQueue: FIFO delivery, reject vs delay backpressure policies,
+// close-then-drain shutdown, and counter/high-water invariants under
+// multi-producer/multi-consumer stress (run under TSan via the sanitize
+// label).
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace dbfa {
+namespace {
+
+TEST(BoundedQueueTest, FifoFillThenDrain) {
+  BoundedQueue<int> queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(queue.TryPush(i), QueuePush::kAccepted);
+  }
+  EXPECT_EQ(queue.TryPush(99), QueuePush::kFull);
+  EXPECT_EQ(queue.rejected(), 1u);
+  EXPECT_EQ(queue.high_water(), 4u);
+  EXPECT_EQ(queue.size(), 4u);
+
+  queue.Close();  // accepted items must still drain
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, i);  // FIFO
+  }
+  EXPECT_FALSE(queue.Pop(&out));  // closed and drained
+  EXPECT_EQ(queue.pushed(), 4u);
+  EXPECT_EQ(queue.popped(), 4u);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, PushAfterCloseIsRefusedWithoutCountingRejection) {
+  BoundedQueue<int> queue(2);
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(1), QueuePush::kClosed);
+  EXPECT_EQ(queue.Push(1), QueuePush::kClosed);
+  EXPECT_EQ(queue.rejected(), 0u);
+  EXPECT_EQ(queue.pushed(), 0u);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityIsClampedToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_EQ(queue.TryPush(7), QueuePush::kAccepted);
+  EXPECT_EQ(queue.TryPush(8), QueuePush::kFull);
+}
+
+TEST(BoundedQueueTest, BlockingPushWaitsForFreeSlot) {
+  BoundedQueue<int> queue(1);
+  ASSERT_EQ(queue.TryPush(1), QueuePush::kAccepted);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_EQ(queue.Push(2), QueuePush::kAccepted);  // blocks until the pop
+    pushed.store(true);
+  });
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(queue.Pop(&out));  // waits for the producer if needed
+  EXPECT_EQ(out, 2);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_LE(queue.high_water(), queue.capacity());
+  EXPECT_EQ(queue.rejected(), 0u);  // delay policy never rejects
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducerAndConsumer) {
+  BoundedQueue<int> queue(1);
+  ASSERT_EQ(queue.TryPush(1), QueuePush::kAccepted);
+  std::thread producer([&] {
+    EXPECT_EQ(queue.Push(2), QueuePush::kClosed);  // blocked on full
+  });
+  BoundedQueue<int> empty(1);
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(empty.Pop(&out));  // blocked on empty
+  });
+  queue.Close();
+  empty.Close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, MpmcStressDeliversEveryAcceptedItemOnce) {
+  constexpr size_t kProducers = 4;
+  constexpr size_t kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(8);
+
+  std::atomic<long> consumed_sum{0};
+  std::atomic<size_t> consumed_count{0};
+  std::vector<std::thread> consumers;
+  for (size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      while (queue.Pop(&out)) {
+        consumed_sum.fetch_add(out);
+        consumed_count.fetch_add(1);
+      }
+    });
+  }
+  std::atomic<long> produced_sum{0};
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int value = static_cast<int>(p) * kPerProducer + i;
+        if (queue.Push(value) == QueuePush::kAccepted) {
+          produced_sum.fetch_add(value);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(consumed_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(consumed_sum.load(), produced_sum.load());
+  EXPECT_EQ(queue.pushed(), queue.popped());
+  EXPECT_LE(queue.high_water(), queue.capacity());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dbfa

@@ -408,5 +408,46 @@ TEST(SnapshotRepoTest, IngestRejectsEmptyImageAndUnknownSnapshotIds) {
   EXPECT_TRUE((*repo)->Diff(1, 2).status().code() == StatusCode::kNotFound);
 }
 
+TEST(SnapshotRepoTest, RepoLockExcludesConcurrentOpen) {
+  std::string dir = RepoDir("snap_lock");
+  auto repo = SnapshotRepo::Create(dir, ConfigFor("postgres_like"));
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "repo.lock"));
+
+  // A second handle (a concurrent CLI against a daemon-held repository)
+  // must be refused with a retryable code, not interleave writes.
+  auto contender = SnapshotRepo::Open(dir);
+  ASSERT_FALSE(contender.ok());
+  EXPECT_EQ(contender.status().code(), StatusCode::kUnavailable)
+      << contender.status().ToString();
+
+  // Releasing the first handle removes the lock and unblocks Open.
+  repo->reset();
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "repo.lock"));
+  auto reopened = SnapshotRepo::Open(dir);
+  EXPECT_TRUE(reopened.ok()) << reopened.status().ToString();
+}
+
+TEST(SnapshotRepoTest, StaleLockFromDeadProcessIsReclaimed) {
+  std::string dir = RepoDir("snap_lock_stale");
+  {
+    auto repo = SnapshotRepo::Create(dir, ConfigFor("postgres_like"));
+    ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+  }
+  // Fake a crashed owner: a PID far beyond the kernel's pid_max cannot be
+  // alive. An unparseable lock body gets the same treatment.
+  for (const char* body : {"999999999\n", "not-a-pid"}) {
+    std::string lock = (fs::path(dir) / "repo.lock").string();
+    std::FILE* f = std::fopen(lock.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs(body, f);
+    std::fclose(f);
+    auto repo = SnapshotRepo::Open(dir);
+    ASSERT_TRUE(repo.ok())
+        << "stale lock '" << body << "': " << repo.status().ToString();
+    repo->reset();
+  }
+}
+
 }  // namespace
 }  // namespace dbfa
