@@ -121,7 +121,7 @@ class BoundedQueue {
   }
 
   const size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"bounded_queue", lock_rank::kBoundedQueue};
   CondVar not_empty_;  // signals consumers: item ready / closed
   CondVar not_full_;   // signals producers: slot free / closed
   std::deque<T> items_ DBFA_GUARDED_BY(mu_);

@@ -1,0 +1,211 @@
+#include "common/lock_debug.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/lock_rank.h"
+
+namespace dbfa {
+namespace lock_debug {
+namespace {
+
+// Deep enough for any sane design; the tree's deepest real nesting is 2.
+constexpr int kMaxHeld = 16;
+
+struct Held {
+  const void* mu;
+  const char* name;  // nullptr = unnamed
+  int rank;          // lock_rank::kUnranked = unranked
+};
+
+thread_local Held t_held[kMaxHeld];
+thread_local int t_depth = 0;
+
+/// One observed "from is held while to is acquired" fact, with the held
+/// stack of the thread that first observed it — half of any future
+/// witness report.
+struct Edge {
+  std::string from;
+  std::string to;
+  std::string witness;
+};
+
+// The graph mutex is a raw std::mutex on purpose: instrumenting the
+// validator's own lock with the validator would recurse. It is a leaf by
+// construction — no code runs under it but the vector scan below.
+std::mutex& GraphMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<Edge>& Edges() {
+  static std::vector<Edge> edges;
+  return edges;
+}
+
+std::string StackString() {
+  std::string out;
+  for (int i = 0; i < t_depth; ++i) {
+    if (i != 0) out += " -> ";
+    out += t_held[i].name != nullptr ? t_held[i].name : "<unnamed>";
+    if (t_held[i].rank != lock_rank::kUnranked) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " (rank %d)", t_held[i].rank);
+      out += buf;
+    }
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "dbfa lock-debug: fatal: %s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// BFS path from -> to over the observed edges; empty when unreachable.
+/// Runs under GraphMu(); the graph has one node per lock *name*, so it is
+/// tiny (tens of nodes) and the scan cost is irrelevant.
+std::vector<const Edge*> FindPath(const std::string& from,
+                                  const std::string& to) {
+  const std::vector<Edge>& edges = Edges();
+  std::vector<std::string> frontier{from};
+  std::vector<std::pair<std::string, const Edge*>> parents;  // node, via
+  std::vector<std::string> seen{from};
+  auto known = [&seen](const std::string& n) {
+    for (const std::string& s : seen) {
+      if (s == n) return true;
+    }
+    return false;
+  };
+  while (!frontier.empty()) {
+    std::vector<std::string> next;
+    for (const std::string& node : frontier) {
+      for (const Edge& e : edges) {
+        if (e.from != node || known(e.to)) continue;
+        seen.push_back(e.to);
+        parents.emplace_back(e.to, &e);
+        if (e.to == to) {
+          // Rebuild the chain to -> ... -> from.
+          std::vector<const Edge*> path;
+          std::string cur = to;
+          while (cur != from) {
+            for (const auto& [n, via] : parents) {
+              if (n == cur) {
+                path.push_back(via);
+                cur = via->from;
+                break;
+              }
+            }
+          }
+          return path;
+        }
+        next.push_back(e.to);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return {};
+}
+
+void Push(const void* mu, const char* name, int rank) {
+  if (t_depth >= kMaxHeld) {
+    Die("held-lock stack overflow (depth " + std::to_string(kMaxHeld) +
+        "); held: " + StackString());
+  }
+  t_held[t_depth++] = Held{mu, name, rank};
+}
+
+void Remove(const void* mu, const char* what) {
+  for (int i = t_depth - 1; i >= 0; --i) {
+    if (t_held[i].mu != mu) continue;
+    for (int j = i; j + 1 < t_depth; ++j) t_held[j] = t_held[j + 1];
+    --t_depth;
+    return;
+  }
+  Die(std::string(what) + " of a lock this thread does not hold; held: " +
+      StackString());
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, const char* name, int rank) {
+  for (int i = 0; i < t_depth; ++i) {
+    const Held& h = t_held[i];
+    if (h.mu == mu) {
+      Die("recursive acquisition of \"" +
+          std::string(name != nullptr ? name : "<unnamed>") +
+          "\"; held: " + StackString());
+    }
+    if (name != nullptr && h.name != nullptr &&
+        std::strcmp(h.name, name) == 0) {
+      Die("two locks named \"" + std::string(name) +
+          "\" held together (instances of one class must never nest); "
+          "held: " + StackString());
+    }
+    if (rank != lock_rank::kUnranked && h.rank != lock_rank::kUnranked &&
+        h.rank >= rank) {
+      Die("rank inversion: acquiring \"" + std::string(name) + "\" (rank " +
+          std::to_string(rank) + ") while holding \"" + h.name + "\" (rank " +
+          std::to_string(h.rank) +
+          ") — the global order (common/lock_rank.h) requires strictly "
+          "increasing ranks; held: " + StackString());
+    }
+  }
+  if (name != nullptr && t_depth > 0) {
+    std::lock_guard<std::mutex> graph_lock(GraphMu());
+    for (int i = 0; i < t_depth; ++i) {
+      const Held& h = t_held[i];
+      if (h.name == nullptr) continue;
+      bool exists = false;
+      for (const Edge& e : Edges()) {
+        if (e.from == h.name && e.to == name) {
+          exists = true;
+          break;
+        }
+      }
+      if (exists) continue;
+      // Adding h.name -> name: if name already reaches h.name, the two
+      // orders are inconsistent — report the witness cycle.
+      std::vector<const Edge*> path = FindPath(name, h.name);
+      if (!path.empty()) {
+        std::string msg = "inconsistent lock order (witness cycle): this "
+                          "thread is acquiring \"";
+        msg += name;
+        msg += "\" while holding \"";
+        msg += h.name;
+        msg += "\"\n  this thread holds: ";
+        msg += StackString();
+        msg += "\n  but the opposite order was already observed:";
+        for (const Edge* e : path) {
+          msg += "\n    \"" + e->from + "\" before \"" + e->to +
+                 "\" — first seen held: " + e->witness;
+        }
+        Die(msg);
+      }
+      Edges().push_back(Edge{h.name, name, StackString()});
+    }
+  }
+  Push(mu, name, rank);
+}
+
+void OnTryAcquire(const void* mu, const char* name, int rank) {
+  Push(mu, name, rank);
+}
+
+void OnRelease(const void* mu) { Remove(mu, "release"); }
+
+void OnWaitRelease(const void* mu) { Remove(mu, "condition wait"); }
+
+void OnWaitReacquire(const void* mu, const char* name, int rank) {
+  Push(mu, name, rank);
+}
+
+size_t HeldDepth() { return static_cast<size_t>(t_depth); }
+
+}  // namespace lock_debug
+}  // namespace dbfa

@@ -1,0 +1,64 @@
+// Runtime lock-order validator behind -DDBFA_LOCK_DEBUG=ON
+// (docs/lock_order.md).
+//
+// Every dbfa::Mutex acquisition is recorded on a thread-local held-lock
+// stack, and every *nested* acquisition of a named mutex adds an edge to a
+// process-wide observed-order graph keyed by lock name. The first time any
+// two locks are ever taken in inconsistent order — in either direction, on
+// any pair of threads, in the same run — the process aborts with the
+// witness: both lock names, the acquiring thread's held stack, and the
+// held stack recorded when the opposite order was first observed. Unlike
+// TSan's deadlock detection this does not need the two orders to race in
+// one interleaving, so every existing CI test run doubles as a deadlock
+// detector.
+//
+// Checks run *before* the underlying mutex is locked, so a true AB/BA
+// deadlock aborts with a report instead of hanging.
+//
+// The hooks are called from src/common/mutex.h only when DBFA_LOCK_DEBUG
+// is defined; this translation unit always builds (it is a few hundred
+// bytes of dead code in release builds, never in a hot path).
+#ifndef DBFA_COMMON_LOCK_DEBUG_H_
+#define DBFA_COMMON_LOCK_DEBUG_H_
+
+#include <cstddef>
+
+namespace dbfa {
+namespace lock_debug {
+
+/// Validates (rank check + observed-order graph) and records an
+/// acquisition. `name` may be nullptr (unnamed mutexes are tracked on the
+/// stack but take part in no ordering checks); `rank` is
+/// lock_rank::kUnranked for unranked mutexes. Aborts on rank inversion,
+/// recursive acquisition, or an order inconsistent with any previously
+/// observed order.
+void OnAcquire(const void* mu, const char* name, int rank);
+
+/// Records a successful TryLock. Pushes the lock on the held stack but
+/// performs no ordering checks and adds no graph edges: a try-acquisition
+/// cannot block, so out-of-order TryLock is deadlock-free and must not
+/// poison the observed-order graph.
+void OnTryAcquire(const void* mu, const char* name, int rank);
+
+/// Removes a lock from the held stack (it need not be the innermost;
+/// hand-rolled Lock/Unlock pairs may release out of LIFO order). Aborts if
+/// the lock is not held by this thread.
+void OnRelease(const void* mu);
+
+/// CondVar::Wait bookkeeping: the wait atomically releases `mu`, so it is
+/// popped from the held stack for the duration of the block...
+void OnWaitRelease(const void* mu);
+
+/// ...and pushed back after the wakeup reacquires it — with no ordering
+/// checks and no new edges, because the order was already validated when
+/// the caller first acquired the lock. Re-validating here would re-observe
+/// the reacquisition as a fresh edge and could poison the graph.
+void OnWaitReacquire(const void* mu, const char* name, int rank);
+
+/// Locks currently held by the calling thread (test hook).
+size_t HeldDepth();
+
+}  // namespace lock_debug
+}  // namespace dbfa
+
+#endif  // DBFA_COMMON_LOCK_DEBUG_H_

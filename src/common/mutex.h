@@ -7,6 +7,13 @@
 // same as the std primitives they delegate to. See docs/static_analysis.md
 // for the conventions.
 //
+// Beyond guarded access, every mutex that can participate in nested
+// locking carries a (name, rank) identity from common/lock_rank.h — the
+// global acquisition order (docs/lock_order.md). The order is checked
+// statically by tools/dbfa_lockcheck/ and, under -DDBFA_LOCK_DEBUG=ON, at
+// runtime by common/lock_debug.h, which aborts with a witness cycle the
+// first time any two locks are ever taken in inconsistent order.
+//
 // Usage pattern:
 //
 //   class Cache {
@@ -32,6 +39,12 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lock_rank.h"
+
+#ifdef DBFA_LOCK_DEBUG
+#include "common/lock_debug.h"
+#endif
+
 // -- Clang thread-safety attribute macros ----------------------------------
 // https://clang.llvm.org/docs/ThreadSafetyAnalysis.html. The DBFA_ prefix
 // keeps them out of the global macro namespace; the spelling mirrors the
@@ -55,6 +68,15 @@
 #define DBFA_REQUIRES(...) \
   DBFA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
 #define DBFA_EXCLUDES(...) DBFA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+// Lock-ordering declarations on mutex members: `Mutex b_mu_
+// DBFA_ACQUIRED_AFTER(a_mu_){...}` documents that b_mu_ is only ever taken
+// while a_mu_ may already be held, never the reverse. dbfa_lockcheck
+// cross-checks these edges against the lock_rank order and the observed
+// acquisition scopes.
+#define DBFA_ACQUIRED_BEFORE(...) \
+  DBFA_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define DBFA_ACQUIRED_AFTER(...) \
+  DBFA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
 #define DBFA_ASSERT_CAPABILITY(x) \
   DBFA_THREAD_ANNOTATION_(assert_capability(x))
 #define DBFA_RETURN_CAPABILITY(x) DBFA_THREAD_ANNOTATION_(lock_returned(x))
@@ -70,17 +92,57 @@ class CondVar;
 /// DBFA_REQUIRES(mu_).
 class DBFA_CAPABILITY("mutex") Mutex {
  public:
+  /// An anonymous, unranked mutex. Legal only for locks that are never
+  /// held together with any other lock (dbfa_lockcheck rejects anonymous
+  /// mutexes in multi-lock scopes); prefer the ranked constructor.
   Mutex() = default;
+
+  /// A mutex with a place in the global lock order: `name` identifies it
+  /// in lock_graph.dot and in validator reports ("<subsystem>/<role>"),
+  /// `rank` is its position from common/lock_rank.h. The identity is two
+  /// words; non-debug builds pay nothing else.
+  explicit Mutex(const char* name, int rank = lock_rank::kUnranked)
+      : name_(name), rank_(rank) {}
+
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() DBFA_ACQUIRE() { mu_.lock(); }
-  void Unlock() DBFA_RELEASE() { mu_.unlock(); }
-  bool TryLock() DBFA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() DBFA_ACQUIRE() {
+#ifdef DBFA_LOCK_DEBUG
+    // Validate *before* blocking: a true AB/BA deadlock then aborts with
+    // the witness cycle instead of hanging.
+    lock_debug::OnAcquire(this, name_, rank_);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() DBFA_RELEASE() {
+    mu_.unlock();
+#ifdef DBFA_LOCK_DEBUG
+    lock_debug::OnRelease(this);
+#endif
+  }
+
+  bool TryLock() DBFA_TRY_ACQUIRE(true) {
+    bool acquired = mu_.try_lock();
+#ifdef DBFA_LOCK_DEBUG
+    // A try-acquisition cannot block, so it is recorded on the held stack
+    // but adds no ordering constraints (see lock_debug.h).
+    if (acquired) lock_debug::OnTryAcquire(this, name_, rank_);
+#endif
+    return acquired;
+  }
+
+  /// Identity in the global lock order; nullptr / lock_rank::kUnranked
+  /// for anonymous mutexes.
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+  const char* name_ = nullptr;
+  int rank_ = lock_rank::kUnranked;
 };
 
 /// RAII lock over a Mutex (scoped capability): acquires in the constructor,
@@ -109,12 +171,23 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(Mutex* mu) DBFA_REQUIRES(mu) {
+#ifdef DBFA_LOCK_DEBUG
+    // The wait releases `mu` for the duration of the block, so the
+    // validator's held stack must drop it here and restore it after the
+    // reacquisition — without re-running the ordering checks, which were
+    // already done when the caller first took the lock (re-observing the
+    // reacquisition would poison the observed-order graph).
+    lock_debug::OnWaitRelease(mu);
+#endif
     // Adopt the already-held lock for the duration of the wait, then
     // release ownership so the unique_lock destructor does not unlock a
     // mutex the caller still holds.
     std::unique_lock<std::mutex> held(mu->mu_, std::adopt_lock);
     cv_.wait(held);
     held.release();
+#ifdef DBFA_LOCK_DEBUG
+    lock_debug::OnWaitReacquire(mu, mu->name_, mu->rank_);
+#endif
   }
 
   void Signal() { cv_.notify_one(); }

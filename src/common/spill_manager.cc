@@ -152,15 +152,27 @@ Result<bool> SpillFile::Reader::NextBlock(std::string* payload) {
 SpillManager::SpillManager(std::string root) : root_(std::move(root)) {}
 
 SpillManager::~SpillManager() {
-  MutexLock lock(&mu_);
-  if (!dir_.empty()) {
+  // Detach the directory name under the lock, delete outside it: remove_all
+  // is blocking file I/O and needs no exclusion once dir_ is cleared (no
+  // CreateFile may race the destructor per the class contract).
+  std::string dir;
+  {
+    MutexLock lock(&mu_);
+    dir = std::move(dir_);
+    dir_.clear();
+  }
+  if (!dir.empty()) {
     std::error_code ec;
-    std::filesystem::remove_all(dir_, ec);  // backstop for leaked files
+    std::filesystem::remove_all(dir, ec);  // backstop for leaked files
   }
 }
 
-Status SpillManager::EnsureDir() {
-  if (!dir_.empty()) return Status::Ok();
+Status SpillManager::EnsureDirOnce() {
+  {
+    MutexLock lock(&mu_);
+    if (!dir_.empty()) return Status::Ok();
+  }
+  // All directory I/O runs unlocked; the commit below resolves races.
   std::error_code ec;
   std::filesystem::path root =
       root_.empty() ? std::filesystem::temp_directory_path(ec)
@@ -174,14 +186,25 @@ Status SpillManager::EnsureDir() {
                                      ec.message().c_str()));
   }
   // Unique per manager: pid + the manager's address disambiguate managers
-  // within and across processes sharing one root.
+  // within and across processes sharing one root; the attempt counter
+  // disambiguates concurrent first calls on one manager.
   for (uint64_t attempt = 0; attempt < 1024; ++attempt) {
     std::filesystem::path candidate =
         root / StrFormat("dbfa-spill-%d-%p-%llu", static_cast<int>(getpid()),
                          static_cast<const void*>(this),
                          static_cast<unsigned long long>(attempt));
     if (std::filesystem::create_directory(candidate, ec)) {
-      dir_ = candidate.string();
+      bool won;
+      {
+        MutexLock lock(&mu_);
+        won = dir_.empty();
+        if (won) dir_ = candidate.string();
+      }
+      if (!won) {
+        // Another thread committed first; discard our candidate and use
+        // the winner's directory.
+        std::filesystem::remove(candidate, ec);
+      }
       return Status::Ok();
     }
     if (ec) {
@@ -193,10 +216,10 @@ Status SpillManager::EnsureDir() {
 }
 
 Result<SpillFile> SpillManager::CreateFile() {
+  DBFA_RETURN_IF_ERROR(EnsureDirOnce());
   std::string path;
   {
     MutexLock lock(&mu_);
-    DBFA_RETURN_IF_ERROR(EnsureDir());
     path = (std::filesystem::path(dir_) /
             StrFormat("run-%06llu.spill",
                       static_cast<unsigned long long>(next_id_++)))

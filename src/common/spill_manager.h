@@ -126,11 +126,14 @@ class SpillManager {
  private:
   friend class SpillFile;
 
-  /// Creates the unique spill directory on first use.
-  Status EnsureDir() DBFA_REQUIRES(mu_);
+  /// Creates the unique spill directory on first use. Double-checked so the
+  /// directory I/O runs outside mu_ (no blocking call under a ranked lock —
+  /// docs/lock_order.md): losers of the creation race remove their candidate
+  /// directory and adopt the winner's.
+  Status EnsureDirOnce();
 
   std::string root_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"spill_manager", lock_rank::kSpillManager};
   std::string dir_ DBFA_GUARDED_BY(mu_);
   uint64_t next_id_ DBFA_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> files_created_{0};

@@ -66,7 +66,9 @@ class StringPool {
 
  private:
   struct Shard {
-    mutable Mutex mu;
+    // Innermost rank in the tree; shards of one pool never nest (the
+    // shard choice is a pure function of the content hash).
+    mutable Mutex mu{"string_pool/shard", lock_rank::kStringPoolShard};
     Arena arena DBFA_GUARDED_BY(mu);
     std::vector<StringRef> entries DBFA_GUARDED_BY(mu);
     // Open addressing, linear probing; values index `entries`, kEmptySlot

@@ -52,7 +52,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  Mutex mu_;
+  Mutex mu_{"thread_pool", lock_rank::kThreadPool};
   CondVar task_cv_;  // signals workers: task ready / stop
   CondVar done_cv_;  // signals Wait(): queue drained
   std::queue<std::function<void()>> queue_ DBFA_GUARDED_BY(mu_);

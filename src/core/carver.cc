@@ -271,9 +271,9 @@ void Carver::CarveDataPage(ByteView page, size_t page_index,
                   (slot_failures > 0 || !page_meta.checksum_ok);
   if (!want_raw) return;
   std::sort(seen_offsets.begin(), seen_offsets.end());
-  for (const ParsedRecord& rec : fmt_.ScanRecordsRaw(page)) {
+  for (const ParsedRecord& raw : fmt_.ScanRecordsRaw(page)) {
     if (std::binary_search(seen_offsets.begin(), seen_offsets.end(),
-                           rec.offset)) {
+                           raw.offset)) {
       continue;
     }
     CarvedRecord carved;
@@ -283,16 +283,16 @@ void Carver::CarveDataPage(ByteView page, size_t page_index,
     carved.slot = CarvedRecord::kOrphanSlot;
     // A record invisible to the slot directory is unallocated storage.
     carved.status = RowStatus::kDeleted;
-    carved.row_id = rec.row_id;
+    carved.row_id = raw.row_id;
     carved.page_lsn = page_meta.lsn;
     if (schema != nullptr) {
-      auto typed = fmt_.DecodeTyped(rec, *schema, pool);
+      auto typed = fmt_.DecodeTyped(raw, *schema, pool);
       if (typed.ok()) {
         carved.values = std::move(typed).value();
         carved.typed = true;
       }
     }
-    if (!carved.typed) carved.values = fmt_.DecodeUntyped(rec, pool);
+    if (!carved.typed) carved.values = fmt_.DecodeUntyped(raw, pool);
     out->push_back(std::move(carved));
   }
 }

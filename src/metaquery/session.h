@@ -159,7 +159,7 @@ class MetaQuerySession {
   /// Guards the lazily created worker pool. Pool creation races when
   /// several threads issue this session's first parallel query; the
   /// ThreadPool itself is thread-safe once published.
-  Mutex pool_mu_;
+  Mutex pool_mu_{"session/pool", lock_rank::kSessionPool};
   std::unique_ptr<ThreadPool> pool_ DBFA_GUARDED_BY(pool_mu_);
   std::map<std::string, std::shared_ptr<Relation>> relations_;  // lower key
   std::map<std::string, std::string> display_names_;

@@ -54,13 +54,17 @@ Result<std::unique_ptr<AuditDaemon>> AuditDaemon::Start(ServeOptions options) {
   std::unique_ptr<AuditDaemon> daemon(new AuditDaemon(std::move(options)));
   std::string feed_path =
       (std::filesystem::path(daemon->options_.root) / kFeedFile).string();
+  // Open outside feed_mu_: no lock may wrap blocking file I/O it does not
+  // have to (docs/lock_order.md). No worker exists yet, so publishing the
+  // handle under the lock afterwards is race-free.
+  std::FILE* feed = std::fopen(feed_path.c_str(), "ab");
+  if (feed == nullptr) {
+    return Status::IoError(
+        StrFormat("dbfa_serve: cannot open feed %s", feed_path.c_str()));
+  }
   {
     MutexLock lock(&daemon->feed_mu_);
-    daemon->feed_ = std::fopen(feed_path.c_str(), "ab");
-    if (daemon->feed_ == nullptr) {
-      return Status::IoError(
-          StrFormat("dbfa_serve: cannot open feed %s", feed_path.c_str()));
-    }
+    daemon->feed_ = feed;
   }
   for (size_t s = 0; s < daemon->options_.shards; ++s) {
     daemon->queues_.push_back(std::make_unique<BoundedQueue<CaptureTask>>(
@@ -272,6 +276,10 @@ void AuditDaemon::EmitFindings(
     finding.mod = mod;
     double latency = SecondsBetween(submitted, Clock::now());
     {
+      // dbfa-lockcheck: allow(blocking-under-lock): feed_mu_ IS the feed's
+      // serialization point — the append and the in-memory mirror must be
+      // atomic together so Findings() order matches feed order. Leaf rank;
+      // nothing is ever acquired under it.
       MutexLock lock(&feed_mu_);
       if (feed_ != nullptr) {
         std::string line = finding.ToString();
@@ -295,13 +303,15 @@ Status AuditDaemon::Shutdown() {
   }
   for (auto& queue : queues_) queue->Close();
   pool_.reset();  // joins the shard loops after they drain their queues
+  // Detach the handle under the lock, close it outside: fclose flushes and
+  // may block, and the workers that could race the handle are joined.
+  std::FILE* feed = nullptr;
   {
     MutexLock lock(&feed_mu_);
-    if (feed_ != nullptr) {
-      std::fclose(feed_);
-      feed_ = nullptr;
-    }
+    feed = feed_;
+    feed_ = nullptr;
   }
+  if (feed != nullptr) std::fclose(feed);
   ServeStats final_stats = Stats();
   final_stats.stopped = true;
   Status invariants = final_stats.CheckInvariants();

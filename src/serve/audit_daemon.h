@@ -151,12 +151,18 @@ class AuditDaemon {
   std::vector<std::unique_ptr<BoundedQueue<CaptureTask>>> queues_;
   std::unique_ptr<ThreadPool> pool_;
 
-  mutable Mutex instances_mu_;
+  /// Lock order within the daemon (common/lock_rank.h, enforced by
+  /// dbfa_lockcheck): state < instances < stats < feed. Only
+  /// instances -> stats actually nests today (AddInstance publishes the
+  /// instance's stats slot atomically with its registration); the rest of
+  /// the order exists so any future nesting has one documented direction.
+  mutable Mutex instances_mu_ DBFA_ACQUIRED_BEFORE(stats_mu_){
+      "audit_daemon/instances", lock_rank::kAuditInstances};
   /// deque: growth never moves existing elements, so shard workers may
   /// hold an Instance* across queue waits while AddInstance appends.
   std::deque<Instance> instances_ DBFA_GUARDED_BY(instances_mu_);
 
-  mutable Mutex state_mu_;
+  mutable Mutex state_mu_{"audit_daemon/state", lock_rank::kAuditState};
   bool accepting_ DBFA_GUARDED_BY(state_mu_) = true;
   bool stopped_ DBFA_GUARDED_BY(state_mu_) = false;
   Status shutdown_status_ DBFA_GUARDED_BY(state_mu_) = Status::Ok();
@@ -164,12 +170,13 @@ class AuditDaemon {
   size_t pending_ DBFA_GUARDED_BY(state_mu_) = 0;
   CondVar drained_;
 
-  mutable Mutex stats_mu_;
+  mutable Mutex stats_mu_ DBFA_ACQUIRED_AFTER(instances_mu_){
+      "audit_daemon/stats", lock_rank::kAuditStats};
   std::vector<InstanceServeStats> instance_stats_ DBFA_GUARDED_BY(stats_mu_);
   std::vector<double> ingest_latencies_ DBFA_GUARDED_BY(stats_mu_);
   std::vector<double> finding_latencies_ DBFA_GUARDED_BY(stats_mu_);
 
-  mutable Mutex feed_mu_;
+  mutable Mutex feed_mu_{"audit_daemon/feed", lock_rank::kAuditFeed};
   std::FILE* feed_ DBFA_GUARDED_BY(feed_mu_) = nullptr;
   std::vector<ServeFinding> findings_ DBFA_GUARDED_BY(feed_mu_);
 };

@@ -1,0 +1,29 @@
+// dbfa-lint-fixture: path=src/engine/bad_raw_sync.cc rule=raw-sync expect=4
+//
+// Raw std synchronization primitives outside common/mutex.h. Each one is
+// invisible to -Wthread-safety, to dbfa_lockcheck's lock-order graph, and
+// to the DBFA_LOCK_DEBUG validator, so the deadlock-freedom guarantees
+// silently stop covering this file. Never compiled; fed to dbfa_lint
+// --self-test under the pretend path above.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace dbfa {
+
+class BadCache {
+ public:
+  void Put(int v) {
+    std::lock_guard<std::mutex> lock(mu_);  // findings 1+2 (both tokens)
+    value_ = v;
+    cv_.notify_all();
+  }
+
+  // A dbfa::CondVar paired with dbfa::Mutex is the sanctioned shape; the
+  // raw pair below bypasses the held-stack bookkeeping entirely.
+  std::mutex mu_;               // finding 3 (mutex)
+  std::condition_variable cv_;  // finding 4 (condition_variable)
+  int value_ = 0;
+};
+
+}  // namespace dbfa

@@ -1,0 +1,35 @@
+// dbfa-lockcheck-fixture: expect=blocking-under-lock:2
+//
+// Blocking calls under a held lock: file I/O (fwrite) and a bounded-queue
+// Pop both sleep for unbounded time while every waiter on mu_ convoys
+// behind them. The fixture also shows the two legal shapes — waiting on
+// the innermost held mutex (the wait releases it) and a justified
+// dbfa-lockcheck allow — which must NOT be flagged. Never compiled;
+// analyzed in isolation by dbfa_lockcheck --self-test.
+
+struct BlockingUnderLock {
+  void WriteUnderLock() {
+    MutexLock lock(&mu_);
+    std::fwrite(buf_, 1, len_, file_);  // finding: I/O under mu_
+  }
+
+  void PopUnderLock() {
+    MutexLock lock(&mu_);
+    queue_.Pop(&task_);  // finding: queue wait under mu_
+  }
+
+  void WaitInnermost() {
+    MutexLock lock(&mu_);
+    while (!ready_) cv_.Wait(&mu_);  // legal: wait releases the held mu_
+  }
+
+  void JustifiedWrite() {
+    // dbfa-lockcheck: allow(blocking-under-lock): mu_ is this file's
+    // serialization point; the append and the mirror must be atomic.
+    MutexLock lock(&mu_);
+    std::fwrite(buf_, 1, len_, file_);
+    mirror_.push_back(buf_);
+  }
+
+  Mutex mu_{"fixture/blocking", 10};
+};

@@ -1,0 +1,40 @@
+// dbfa-lockcheck-fixture: expect=none
+//
+// The disciplined shapes, all of which must pass: ranked locks nested in
+// strictly increasing rank order with a matching ordering annotation,
+// I/O hoisted outside the critical section, a TryPush (which never
+// blocks) under a lock, and a condition wait on the innermost held
+// mutex. Never compiled; analyzed in isolation by dbfa_lockcheck
+// --self-test.
+
+struct Disciplined {
+  void NestInOrder() {
+    MutexLock la(&a_);
+    MutexLock lb(&b_);  // 10 -> 20: strictly increasing
+    touch();
+  }
+
+  void HoistedIo() {
+    std::string line;
+    {
+      MutexLock la(&a_);
+      line = render();
+    }
+    std::fwrite(line.data(), 1, line.size(), file_);  // outside the lock
+  }
+
+  void NonBlockingUnderLock() {
+    MutexLock la(&a_);
+    queue_.TryPush(make_task());  // TryPush returns immediately on full
+  }
+
+  void WaitInnermost() {
+    MutexLock la(&a_);
+    while (!ready_) cv_.Wait(&a_);
+  }
+
+  void touch();
+
+  Mutex a_ DBFA_ACQUIRED_BEFORE(b_){"fixture/outer", 10};
+  Mutex b_ DBFA_ACQUIRED_AFTER(a_){"fixture/inner", 20};
+};

@@ -1,0 +1,27 @@
+// dbfa-lockcheck-fixture: expect=lock-cycle:1,rank-order:1
+//
+// Deliberate AB/BA inversion — the canonical latent deadlock. One() takes
+// a_ then b_, Two() takes b_ then a_; neither path deadlocks alone, but
+// the combined order graph has the cycle a -> b -> a. The checker must
+// name the cycle (lock-cycle) and flag Two()'s inner acquisition, whose
+// rank does not strictly increase (rank-order). Never compiled; analyzed
+// in isolation by dbfa_lockcheck --self-test.
+
+struct TwoLocks {
+  void One() {
+    MutexLock la(&a_);
+    MutexLock lb(&b_);  // a -> b: matches the ranks
+    touch();
+  }
+
+  void Two() {
+    MutexLock lb(&b_);
+    MutexLock la(&a_);  // b -> a: rank inversion, and closes the cycle
+    touch();
+  }
+
+  void touch();
+
+  Mutex a_{"fixture/a", 10};
+  Mutex b_{"fixture/b", 20};
+};

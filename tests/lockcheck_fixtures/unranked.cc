@@ -1,0 +1,25 @@
+// dbfa-lockcheck-fixture: expect=unranked-multilock:1
+//
+// An unranked mutex pulled into a multi-lock scope. b_ has a name but no
+// rank, which is legal only while it stays leaf-only; the moment Nest()
+// holds it together with a_ the checker demands a rank, because an
+// unranked lock cannot be placed in the machine-checkable global order.
+// Never compiled; analyzed in isolation by dbfa_lockcheck --self-test.
+
+struct UnrankedPair {
+  void LeafOnly() {
+    MutexLock lb(&b_);  // fine: b_ alone, no nesting
+    touch();
+  }
+
+  void Nest() {
+    MutexLock la(&a_);
+    MutexLock lb(&b_);  // unranked b_ under a_: needs a lock_rank entry
+    touch();
+  }
+
+  void touch();
+
+  Mutex a_{"fixture/ranked", 10};
+  Mutex b_{"fixture/unranked"};
+};

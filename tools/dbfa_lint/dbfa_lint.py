@@ -28,6 +28,14 @@ express, documented in docs/static_analysis.md:
                     carved row; string work must stay on StringRef /
                     string_view (pool identity, cached hash, memcmp) or
                     move outside the loop.
+  raw-sync          no raw std::mutex / lock_guard / unique_lock /
+                    scoped_lock / condition_variable in src/ outside
+                    common/mutex.h (see allowlist.txt). All locking goes
+                    through dbfa::Mutex so it carries a (name, rank)
+                    identity and stays visible to the thread-safety
+                    annotations, dbfa_lockcheck's cross-TU lock-order
+                    analysis, and the DBFA_LOCK_DEBUG runtime validator —
+                    a raw std primitive is invisible to all three.
 
 Suppression: append "// dbfa-lint: allow(<rule>): <why>" on the offending
 line or the line above it. File-level exemptions live in allowlist.txt
@@ -50,7 +58,7 @@ import re
 import sys
 
 RULES = ("raw-byte-read", "nodiscard-status", "unordered-iter",
-         "naked-rand-time", "hot-loop-string")
+         "naked-rand-time", "hot-loop-string", "raw-sync")
 
 # Directories (relative to the repo root) whose output ordering is part of
 # the bit-identical determinism contract; unordered-iter fires only here.
@@ -353,12 +361,37 @@ def check_hot_loop_string(relpath, code, comments, findings):
             "justify with // dbfa-lint: allow(hot-loop-string): <why>"))
 
 
+# ---- raw-sync -------------------------------------------------------------
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|condition_variable(?:_any)?)\b")
+
+
+def check_raw_sync(relpath, code, comments, findings):
+    if not relpath.startswith("src/"):
+        return
+    for m in RAW_SYNC_RE.finditer(code):
+        ln = line_of(m.start(), code)
+        if allowed("raw-sync", ln, comments, code):
+            continue
+        findings.append(Finding(
+            relpath, ln, "raw-sync",
+            f"raw std::{m.group(1)} outside common/mutex.h; use "
+            "dbfa::Mutex / MutexLock / CondVar so the lock has a (name, "
+            "rank) identity and stays visible to -Wthread-safety, "
+            "dbfa_lockcheck, and the DBFA_LOCK_DEBUG validator "
+            "(file-level exemptions: tools/dbfa_lint/allowlist.txt)"))
+
+
 CHECKS = {
     "raw-byte-read": check_raw_byte_read,
     "nodiscard-status": check_nodiscard_status,
     "unordered-iter": check_unordered_iter,
     "naked-rand-time": check_rand_time,
     "hot-loop-string": check_hot_loop_string,
+    "raw-sync": check_raw_sync,
 }
 
 
