@@ -1,0 +1,147 @@
+// E17 — transaction reenactment (docs/reenactment.md): audit-log replay
+// throughput on the reference engine, and surgical-recovery planning +
+// verification cost with accuracy counters. One replay iteration re-executes
+// the whole logged history; one recovery iteration diffs the full replay
+// against a carved image holding a fixed amount of unlogged tampering,
+// emits the undo script, and verifies it by fingerprint byte-comparison.
+// The corrupted_rows/script_statements counters double as the minimality
+// record: exactly the tampered rows, no false rows (check_bench.py compares
+// them against BENCH_reenact.json with zero drift tolerance on counts).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/carver.h"
+#include "reenact/recovery.h"
+#include "reenact/reenactor.h"
+#include "storage/dialects.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace dbfa;
+
+CarverConfig ConfigFor(const Database& db) {
+  CarverConfig config;
+  config.params = GetDialect(db.params().dialect).value();
+  return config;
+}
+
+RowPointer FindRow(Database* db, int64_t id) {
+  RowPointer out{};
+  (void)db->heap("Accounts")->Scan([&](RowPointer ptr, const Record& rec) {
+    if (rec[0] == Value::Int(id)) out = ptr;
+    return Status::Ok();
+  });
+  return out;
+}
+
+void BM_ReplayThroughput(benchmark::State& state) {
+  auto db = Database::Open(DatabaseOptions{}).value();
+  SyntheticWorkload workload(db.get(), "Accounts", 1907);
+  if (!workload.Setup(100).ok() ||
+      !workload.Run(static_cast<int>(state.range(0)), OpMix{}, true).ok()) {
+    state.SkipWithError("workload setup failed");
+    return;
+  }
+  Reenactor reenactor(ConfigFor(*db));
+  size_t entries = db->audit_log().entries().size();
+
+  for (auto _ : state) {
+    auto replayed = reenactor.Replay(db->audit_log());
+    if (!replayed.ok() || replayed->failed != 0) {
+      state.SkipWithError("replay failed");
+      return;
+    }
+    benchmark::DoNotOptimize(replayed->applied);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(entries));
+  state.counters["statements"] = static_cast<double>(entries);
+}
+BENCHMARK(BM_ReplayThroughput)
+    ->Arg(128)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SurgicalRecovery(benchmark::State& state) {
+  // Fixed tampering dose: 3 altered + 2 extraneous + 1 erased = 6 rows.
+  constexpr double kExpectedCorruptions = 6.0;
+  auto db = Database::Open(DatabaseOptions{}).value();
+  SyntheticWorkload workload(db.get(), "Accounts", 1909);
+  if (!workload.Setup(static_cast<int>(state.range(0))).ok()) {
+    state.SkipWithError("workload setup failed");
+    return;
+  }
+  bool tampered = true;
+  for (int64_t id = 10; id <= 12; ++id) {
+    tampered = tampered && TamperOverwriteField(db.get(), "Accounts",
+                                                FindRow(db.get(), id),
+                                                "Balance", Value::Real(9.5))
+                               .ok();
+  }
+  for (int64_t id = 0; id < 2; ++id) {
+    tampered =
+        tampered && TamperInsertRecord(
+                        db.get(), "Accounts",
+                        {Value::Int(990000 + id), Value::Str("Ghost"),
+                         Value::Str("Nowhere"), Value::Real(0.5)})
+                        .ok();
+  }
+  tampered = tampered &&
+             TamperEraseRecord(db.get(), "Accounts", FindRow(db.get(), 20))
+                 .ok();
+  // Legitimate post-tampering traffic the recovery must preserve.
+  tampered = tampered && workload.Run(20, OpMix{}, true).ok();
+  if (!tampered) {
+    state.SkipWithError("tampering setup failed");
+    return;
+  }
+  auto image = db->SnapshotDisk();
+  if (!image.ok()) {
+    state.SkipWithError("snapshot failed");
+    return;
+  }
+  Carver carver(ConfigFor(*db));
+  auto carve = carver.Carve(*image);
+  if (!carve.ok()) {
+    state.SkipWithError("carve failed");
+    return;
+  }
+
+  Reenactor reenactor(ConfigFor(*db));
+  RecoveryPlanner planner(reenactor);
+  double corruptions = 0.0;
+  double statements = 0.0;
+  double verified = 1.0;
+  for (auto _ : state) {
+    auto script = planner.Plan(db->audit_log(), *carve);
+    if (!script.ok()) {
+      state.SkipWithError("plan failed");
+      return;
+    }
+    auto verification = planner.Verify(*script, db->audit_log(), *carve);
+    if (!verification.ok()) {
+      state.SkipWithError("verify failed");
+      return;
+    }
+    corruptions = static_cast<double>(script->corruptions.size());
+    statements = static_cast<double>(script->statements.size());
+    if (!verification->byte_identical) verified = 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["corrupted_rows"] = corruptions;
+  state.counters["script_statements"] = statements;
+  state.counters["pinpoint_exact"] =
+      corruptions == kExpectedCorruptions ? 1.0 : 0.0;
+  state.counters["byte_identical"] = verified;
+}
+BENCHMARK(BM_SurgicalRecovery)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

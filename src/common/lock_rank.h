@@ -48,6 +48,10 @@ enum Rank : int {
   kAuditInstances = 20,
   // Per-instance and latency counters.
   kAuditStats = 30,
+  // Per-instance finding-dedup sets; ResolveFinding() clears entries from
+  // outside the owning shard, so the sets need a lock of their own. Held
+  // alone (the emit path acquires it, then kAuditFeed, sequentially).
+  kAuditDedup = 35,
   // Findings feed serialization point: the feed file and the in-memory
   // findings vector. Leaf within the daemon; the append I/O happens
   // under it by design (see docs/lock_order.md).

@@ -119,6 +119,11 @@ BoundTableLog CompileTableLog(const TableLog& tlog,
 
 }  // namespace
 
+std::string UnattributedModification::Key() const {
+  return StrFormat("%d|%s|%s", static_cast<int>(kind), table.c_str(),
+                   RecordToString(values).c_str());
+}
+
 std::string UnattributedModification::ToString() const {
   return StrFormat("[%s] %s %s at page %u slot %u — %s",
                    kind == Kind::kDelete ? "unattributed delete"

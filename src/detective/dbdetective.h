@@ -37,6 +37,10 @@ struct UnattributedModification {
   uint16_t slot = 0;
   std::string reason;
 
+  /// Identity key: the same artifact yields the same key regardless of
+  /// which snapshot's delta surfaced it (the serve daemon's dedup and
+  /// ResolveFinding both address findings by it).
+  std::string Key() const;
   std::string ToString() const;
 };
 

@@ -117,6 +117,11 @@ class Database {
 
   AccessPath last_access_path() const { return last_access_path_; }
 
+  /// Next value of the monotone row-id counter (storage evidence the
+  /// timeline/reenact analyses key on). The value the *next* inserted row
+  /// version will receive; updates also consume ids for their new version.
+  uint64_t next_row_id() const { return next_row_id_; }
+
   /// nullptr when the table does not exist.
   TableHeap* heap(const std::string& table);
   /// nullptr when absent. PK indexes are named "pk_<table>".

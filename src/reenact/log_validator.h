@@ -1,0 +1,60 @@
+// Backdated-log validation (paper Section III-C), replay-assisted.
+//
+// Wraps the timeline analyzer's two detectors (timestamp inversions against
+// append order; carved row-id order against claimed time order) and adds a
+// third that only the reenactor can provide: replaying the log predicts the
+// row id the monotone counter *would* hand each logged INSERT at its
+// claimed position, so a flagged entry carries both sides of the
+// contradiction — the id storage actually stamped versus the id the claimed
+// history implies. The validator also reports whether the claimed state as
+// a whole matches carved storage (via the recovery diff), separating "the
+// log's order is forged" from "the storage was tampered".
+#ifndef DBFA_REENACT_LOG_VALIDATOR_H_
+#define DBFA_REENACT_LOG_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/artifacts.h"
+#include "reenact/reenactor.h"
+#include "timeline/log_event_analyzer.h"
+
+namespace dbfa {
+
+struct LogValidationReport {
+  /// Detectors 1+2 (timeline/log_event_analyzer): timestamp inversions and
+  /// storage row-id order violations.
+  TimelineReport timeline;
+  /// Detector 3: entries whose carved row id contradicts the claimed time
+  /// order, with the replay-predicted id as the counter-witness.
+  std::vector<BackdateFinding> replay_findings;
+  /// Logged single-row INSERTs the replay located in carved storage.
+  size_t inserts_matched = 0;
+  /// Whether the fully-replayed claimed state matches the carved reality
+  /// (false means tampering, which is recovery's problem, not backdating).
+  bool state_matches_replay = false;
+  /// Rows the recovery diff found corrupted (0 when state matches).
+  size_t corrupted_rows = 0;
+
+  /// No backdating evidence (state tampering is reported separately).
+  bool Consistent() const {
+    return timeline.Consistent() && replay_findings.empty();
+  }
+  std::string ToString() const;
+};
+
+class LogValidator {
+ public:
+  explicit LogValidator(const Reenactor& reenactor)
+      : reenactor_(&reenactor) {}
+
+  Result<LogValidationReport> Validate(const AuditLog& log,
+                                       const CarveResult& disk) const;
+
+ private:
+  const Reenactor* reenactor_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_REENACT_LOG_VALIDATOR_H_

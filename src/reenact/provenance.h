@@ -1,0 +1,90 @@
+// Per-transaction provenance: read/write footprints joined against carved
+// storage evidence.
+//
+// Replaying the log entry-by-entry lets us capture each statement's exact
+// effect set *as of the claimed state it executed in*: INSERT post-images,
+// DELETE pre-images, UPDATE before/after pairs, and the tables each
+// statement read. Joining those effects against the carved before/after
+// artifacts (active and delete-marked records) classifies every logged
+// transaction: its effects are confirmed by storage, contradicted by it,
+// missing from it, or simply unverifiable (the dialect purged the
+// evidence). A log whose transactions all confirm is consistent with the
+// disk; contradictions and missing effects are where tampering or log
+// forgery shows.
+#ifndef DBFA_REENACT_PROVENANCE_H_
+#define DBFA_REENACT_PROVENANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/artifacts.h"
+#include "reenact/reenactor.h"
+
+namespace dbfa {
+
+enum class EffectKind { kInsert, kDelete, kUpdateBefore, kUpdateAfter };
+
+const char* EffectKindName(EffectKind kind);
+
+/// One row-level write a statement performed during replay.
+struct RowEffect {
+  EffectKind kind = EffectKind::kInsert;
+  std::string table;  // catalog key (lower-cased)
+  Record values;
+
+  std::string ToString() const;
+};
+
+/// How carved storage evidence relates to a transaction's replayed effects.
+enum class EvidenceVerdict {
+  kConfirmed,     // every checkable effect found where storage should hold it
+  kContradicted,  // storage actively disagrees (e.g. a "deleted" row is live)
+  kMissing,       // a final effect is absent from the carved active records
+  kUnverifiable,  // no row effects, or the dialect purged the evidence
+};
+
+const char* EvidenceVerdictName(EvidenceVerdict verdict);
+
+/// One logged transaction's reconstructed footprint.
+struct TransactionFootprint {
+  uint64_t seq = 0;
+  int64_t timestamp = 0;
+  std::string sql;
+  bool applied = false;             // replayed cleanly on the reference engine
+  std::vector<RowEffect> writes;
+  std::vector<std::string> reads;   // tables the statement read (scans)
+  EvidenceVerdict verdict = EvidenceVerdict::kUnverifiable;
+  std::string evidence;             // justification for the verdict
+
+  std::string ToString() const;
+};
+
+struct ProvenanceReport {
+  std::vector<TransactionFootprint> transactions;
+  size_t confirmed = 0;
+  size_t contradicted = 0;
+  size_t missing = 0;
+  size_t unverifiable = 0;
+
+  /// No transaction's effects are contradicted by or missing from storage.
+  bool Consistent() const { return contradicted == 0 && missing == 0; }
+  std::string ToString() const;
+};
+
+class ProvenanceAnalyzer {
+ public:
+  explicit ProvenanceAnalyzer(const Reenactor& reenactor)
+      : reenactor_(&reenactor) {}
+
+  /// Replays `log`, reconstructing each entry's footprint, then joins the
+  /// effects against `disk` (the carved reality of the same instance).
+  Result<ProvenanceReport> Analyze(const AuditLog& log,
+                                   const CarveResult& disk) const;
+
+ private:
+  const Reenactor* reenactor_;
+};
+
+}  // namespace dbfa
+
+#endif  // DBFA_REENACT_PROVENANCE_H_

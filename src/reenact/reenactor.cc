@@ -1,0 +1,103 @@
+#include "reenact/reenactor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace dbfa {
+
+std::string StatementOutcome::ToString() const {
+  if (applied) {
+    return StrFormat("seq %llu ts %lld row-id %llu: %s",
+                     static_cast<unsigned long long>(seq),
+                     static_cast<long long>(timestamp),
+                     static_cast<unsigned long long>(row_id_before),
+                     sql.c_str());
+  }
+  return StrFormat("seq %llu ts %lld REJECTED (%s): %s",
+                   static_cast<unsigned long long>(seq),
+                   static_cast<long long>(timestamp), error.c_str(),
+                   sql.c_str());
+}
+
+Result<std::string> ReenactedState::Fingerprint() const {
+  return CanonicalFingerprint(db.get());
+}
+
+Result<std::map<std::string, std::vector<Record>>> ActiveRowsByTable(
+    Database* db) {
+  std::map<std::string, std::vector<Record>> out;
+  for (const auto& [key, info] : db->catalog().tables()) {
+    std::vector<Record>& rows = out[key];
+    TableHeap* heap = db->heap(info.schema.name);
+    if (heap == nullptr) continue;  // registered but never materialized
+    DBFA_RETURN_IF_ERROR(heap->Scan([&rows](RowPointer, const Record& r) {
+      rows.push_back(r);
+      return Status::Ok();
+    }));
+    std::sort(rows.begin(), rows.end(), [](const Record& a, const Record& b) {
+      return CompareRecords(a, b) < 0;
+    });
+  }
+  return out;
+}
+
+Result<std::string> CanonicalFingerprint(Database* db) {
+  DBFA_ASSIGN_OR_RETURN(auto tables, ActiveRowsByTable(db));
+  std::string out = "dbfa-state-fingerprint v1\n";
+  for (const auto& [key, rows] : tables) {
+    out += "table " + key + "\n";
+    for (const Record& r : rows) {
+      out += "row " + RecordToString(r) + "\n";
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+DatabaseOptions ReferenceOptionsFor(const CarverConfig& config) {
+  DatabaseOptions options;
+  // The carver config carries the full layout parameter set; using it as
+  // custom_params reproduces the instance's storage dialect exactly even
+  // for engines outside the built-in eight.
+  options.custom_params = config.params;
+  return options;
+}
+
+Result<ReenactedState> Reenactor::Replay(const AuditLog& log,
+                                         const ReplayOptions& options) const {
+  ReenactedState state;
+  DBFA_ASSIGN_OR_RETURN(state.db, Database::Open(base_));
+  // The replayed engine's own log would only echo the input history.
+  state.db->audit_log().SetEnabled(false);
+  state.outcomes.reserve(log.entries().size());
+  for (const AuditEntry& entry : log.entries()) {
+    if (options.upto_seq != 0 && entry.seq > options.upto_seq) continue;
+    if (options.skip_seqs.count(entry.seq) != 0) continue;
+    StatementOutcome outcome;
+    outcome.seq = entry.seq;
+    outcome.timestamp = entry.timestamp;
+    outcome.sql = entry.sql;
+    outcome.row_id_before = state.db->next_row_id();
+    // Replay under the claimed clock so storage LSNs carry claimed times.
+    state.db->clock().Set(entry.timestamp);
+    if (options.before_statement) {
+      DBFA_RETURN_IF_ERROR(options.before_statement(state.db.get(), entry));
+    }
+    auto result = state.db->ExecuteSql(entry.sql);
+    if (result.ok()) {
+      outcome.applied = true;
+      ++state.applied;
+    } else {
+      outcome.error = result.status().ToString();
+      ++state.failed;
+    }
+    bool stop = options.stop_on_error && !outcome.applied;
+    state.outcomes.push_back(std::move(outcome));
+    if (stop) break;
+  }
+  return state;
+}
+
+}  // namespace dbfa

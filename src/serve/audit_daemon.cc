@@ -15,14 +15,6 @@ double SecondsBetween(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double>(b - a).count();
 }
 
-/// Dedup key: a finding is "the same" when it names the same artifact,
-/// regardless of which snapshot's delta surfaced it.
-std::string FindingKey(const UnattributedModification& mod) {
-  return StrFormat(
-      "%d|%s|%s", static_cast<int>(mod.kind), mod.table.c_str(),
-      RecordToString(mod.values).c_str());
-}
-
 }  // namespace
 
 std::string ServeFinding::ToString() const {
@@ -269,7 +261,14 @@ void AuditDaemon::EmitFindings(
     const std::vector<UnattributedModification>& mods,
     Clock::time_point submitted) {
   for (const UnattributedModification& mod : mods) {
-    if (!inst->reported.insert(FindingKey(mod)).second) continue;
+    bool fresh;
+    {
+      // Dedup on the artifact's identity key: the same finding is emitted
+      // at most once until ResolveFinding clears its entry.
+      MutexLock lock(&dedup_mu_);
+      fresh = inst->reported.insert(mod.Key()).second;
+    }
+    if (!fresh) continue;
     ServeFinding finding;
     finding.instance = inst->name;
     finding.snapshot_id = snapshot_id;
@@ -371,6 +370,7 @@ ServeStats AuditDaemon::Stats() const {
     out.captures_failed += inst.captures_failed;
     out.snapshots += inst.snapshots;
     out.findings += inst.findings;
+    out.findings_resolved += inst.findings_resolved;
     out.pages_total += inst.pages_total;
     out.pages_reused += inst.pages_reused;
     out.artifacts_reused += inst.artifacts_reused;
@@ -386,6 +386,30 @@ ServeStats AuditDaemon::Stats() const {
 std::vector<ServeFinding> AuditDaemon::Findings() const {
   MutexLock lock(&feed_mu_);
   return findings_;
+}
+
+Result<bool> AuditDaemon::ResolveFinding(
+    size_t instance, const UnattributedModification& finding) {
+  Instance* inst = nullptr;
+  {
+    MutexLock lock(&instances_mu_);
+    if (instance >= instances_.size()) {
+      return Status::NotFound(
+          StrFormat("dbfa_serve: no instance with id %zu", instance));
+    }
+    // deque: stable address; registration fields are immutable.
+    inst = &instances_[instance];
+  }
+  bool cleared;
+  {
+    MutexLock lock(&dedup_mu_);
+    cleared = inst->reported.erase(finding.Key()) > 0;
+  }
+  if (cleared) {
+    MutexLock lock(&stats_mu_);
+    ++instance_stats_[instance].findings_resolved;
+  }
+  return cleared;
 }
 
 }  // namespace dbfa

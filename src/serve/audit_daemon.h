@@ -110,6 +110,14 @@ class AuditDaemon {
   /// Findings emitted so far, in feed order.
   std::vector<ServeFinding> Findings() const;
 
+  /// Remediation hook: marks `finding` handled for `instance` by clearing
+  /// its dedup entry, so a recurrence in a later capture is re-reported
+  /// (the feed keeps the original line; resolution never rewrites it).
+  /// Returns whether a dedup entry was actually cleared; NotFound for an
+  /// unknown instance id. Safe while the daemon is running.
+  Result<bool> ResolveFinding(size_t instance,
+                              const UnattributedModification& finding);
+
   static constexpr const char* kFeedFile = "findings.feed";
   static constexpr const char* kStatsFile = "serve_stats.json";
 
@@ -133,7 +141,11 @@ class AuditDaemon {
 
     std::unique_ptr<SnapshotRepo> repo;
     uint64_t last_ingested = 0;  // 0 = nothing ingested yet
-    std::set<std::string> reported;  // dedup keys of emitted findings
+    /// Dedup keys (UnattributedModification::Key) of emitted findings.
+    /// Guarded by the daemon's dedup_mu_ — shard workers insert on emit,
+    /// ResolveFinding erases from arbitrary threads. (A nested struct
+    /// member cannot carry DBFA_GUARDED_BY on the outer class's mutex.)
+    std::set<std::string> reported;
   };
 
   explicit AuditDaemon(ServeOptions options);
@@ -152,7 +164,7 @@ class AuditDaemon {
   std::unique_ptr<ThreadPool> pool_;
 
   /// Lock order within the daemon (common/lock_rank.h, enforced by
-  /// dbfa_lockcheck): state < instances < stats < feed. Only
+  /// dbfa_lockcheck): state < instances < stats < dedup < feed. Only
   /// instances -> stats actually nests today (AddInstance publishes the
   /// instance's stats slot atomically with its registration); the rest of
   /// the order exists so any future nesting has one documented direction.
@@ -169,6 +181,11 @@ class AuditDaemon {
   /// Accepted-but-unfinished captures; Drain() waits for 0.
   size_t pending_ DBFA_GUARDED_BY(state_mu_) = 0;
   CondVar drained_;
+
+  /// Guards every Instance::reported set (see that member's comment).
+  /// Held alone: the emit path takes dedup -> feed -> stats sequentially,
+  /// never nested.
+  mutable Mutex dedup_mu_{"audit_daemon/dedup", lock_rank::kAuditDedup};
 
   mutable Mutex stats_mu_ DBFA_ACQUIRED_AFTER(instances_mu_){
       "audit_daemon/stats", lock_rank::kAuditStats};

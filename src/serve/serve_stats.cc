@@ -132,17 +132,20 @@ Status ServeStats::CheckInvariants() const {
   uint64_t sum_completed = 0;
   uint64_t sum_failed = 0;
   uint64_t sum_findings = 0;
+  uint64_t sum_resolved = 0;
   for (const InstanceServeStats& inst : instances) {
     sum_submitted += inst.captures_submitted;
     sum_rejected += inst.captures_rejected;
     sum_completed += inst.captures_completed;
     sum_failed += inst.captures_failed;
     sum_findings += inst.findings;
+    sum_resolved += inst.findings_resolved;
   }
   if (sum_submitted != captures_submitted ||
       sum_rejected != captures_rejected ||
       sum_completed != captures_completed ||
-      sum_failed != captures_failed || sum_findings != findings) {
+      sum_failed != captures_failed || sum_findings != findings ||
+      sum_resolved != findings_resolved) {
     return Status::Internal("per-instance totals disagree with global totals");
   }
   return Status::Ok();
@@ -172,8 +175,9 @@ std::string ServeStats::ToString() const {
       static_cast<unsigned long long>(artifacts_reused),
       static_cast<unsigned long long>(artifacts_carved),
       100.0 * ArtifactHitRate());
-  out += StrFormat("  findings: %llu\n",
-                   static_cast<unsigned long long>(findings));
+  out += StrFormat("  findings: %llu (%llu resolved)\n",
+                   static_cast<unsigned long long>(findings),
+                   static_cast<unsigned long long>(findings_resolved));
   out += StrFormat(
       "  ingest latency:  p50 %.2f ms  p95 %.2f ms  max %.2f ms (%zu "
       "samples)\n",
@@ -215,6 +219,8 @@ std::string ServeStats::ToJson() const {
                    static_cast<unsigned long long>(snapshots));
   out += StrFormat("  \"findings\": %llu,\n",
                    static_cast<unsigned long long>(findings));
+  out += StrFormat("  \"findings_resolved\": %llu,\n",
+                   static_cast<unsigned long long>(findings_resolved));
   out += StrFormat("  \"pages_total\": %llu,\n",
                    static_cast<unsigned long long>(pages_total));
   out += StrFormat("  \"pages_reused\": %llu,\n",
@@ -247,7 +253,8 @@ std::string ServeStats::ToJson() const {
     out += StrFormat(
         "    {\"name\": \"%s\", \"submitted\": %llu, \"rejected\": %llu, "
         "\"completed\": %llu, \"failed\": %llu, \"snapshots\": %llu, "
-        "\"findings\": %llu, \"pages_total\": %llu, \"pages_reused\": %llu, "
+        "\"findings\": %llu, \"findings_resolved\": %llu, "
+        "\"pages_total\": %llu, \"pages_reused\": %llu, "
         "\"artifacts_reused\": %llu, \"artifacts_carved\": %llu, "
         "\"ingest_seconds\": %.6f, \"last_error\": \"%s\"}%s\n",
         JsonEscape(inst.name).c_str(),
@@ -257,6 +264,7 @@ std::string ServeStats::ToJson() const {
         static_cast<unsigned long long>(inst.captures_failed),
         static_cast<unsigned long long>(inst.snapshots),
         static_cast<unsigned long long>(inst.findings),
+        static_cast<unsigned long long>(inst.findings_resolved),
         static_cast<unsigned long long>(inst.pages_total),
         static_cast<unsigned long long>(inst.pages_reused),
         static_cast<unsigned long long>(inst.artifacts_reused),

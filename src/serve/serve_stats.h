@@ -36,6 +36,7 @@ struct InstanceServeStats {
   uint64_t captures_failed = 0;  // ingest/detect returned an error
   uint64_t snapshots = 0;        // snapshots ingested into the repo
   uint64_t findings = 0;         // distinct findings emitted to the feed
+  uint64_t findings_resolved = 0;  // dedup entries cleared via ResolveFinding
   uint64_t pages_total = 0;
   uint64_t pages_reused = 0;
   uint64_t artifacts_reused = 0;
@@ -65,6 +66,7 @@ struct ServeStats {
   uint64_t captures_failed = 0;
   uint64_t snapshots = 0;
   uint64_t findings = 0;
+  uint64_t findings_resolved = 0;
   uint64_t pages_total = 0;
   uint64_t pages_reused = 0;
   uint64_t artifacts_reused = 0;

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -367,6 +368,253 @@ Status SnapshotRepo::WriteManifest(const Snapshot& snap) const {
         StrFormat("snapshot repo: cannot commit %s", final_path.c_str()));
   }
   return Status::Ok();
+}
+
+std::string FsckIssue::ToString() const {
+  return StrFormat("%s: %s", file.c_str(), detail.c_str());
+}
+
+std::string FsckReport::ToString() const {
+  std::string out = StrFormat(
+      "fsck: %s (%zu pages, %zu artifacts, %zu manifests checked)\n",
+      Clean() ? "clean" : StrFormat("%zu corruption(s)", issues.size()).c_str(),
+      pages_checked, artifacts_checked, manifests_checked);
+  for (const FsckIssue& issue : issues) {
+    out += "  " + issue.ToString() + "\n";
+  }
+  return out;
+}
+
+Result<FsckReport> SnapshotRepo::Fsck(const std::string& dir) {
+  namespace fs = std::filesystem;
+  fs::path root(dir);
+  // Hold the repository lock so a concurrent ingest cannot append while the
+  // scan walks the stores (a torn tail would read as corruption).
+  DBFA_ASSIGN_OR_RETURN(RepoLock lock, RepoLock::Acquire(dir));
+  FsckReport report;
+  auto issue = [&report](const char* file, std::string detail) {
+    report.issues.push_back({file, std::move(detail)});
+  };
+
+  // repo.meta: header plus "key value" option lines.
+  std::string meta;
+  Status meta_read = ReadTextFile((root / "repo.meta").string(), &meta);
+  if (!meta_read.ok()) {
+    issue("repo.meta", meta_read.ToString());
+  } else {
+    std::vector<std::string> lines = Split(meta, '\n');
+    if (lines.empty() || Trim(lines[0]) != kRepoMetaHeader) {
+      issue("repo.meta", "bad header (not a dbfa snapshot repository?)");
+    } else {
+      for (size_t i = 1; i < lines.size(); ++i) {
+        std::string_view line = Trim(lines[i]);
+        if (line.empty()) continue;
+        std::vector<std::string> parts = Split(std::string(line), ' ');
+        uint64_t v = 0;
+        if (parts.size() != 2 || !ParseU64(parts[1], &v)) {
+          issue("repo.meta", StrFormat("bad line %zu", i + 1));
+        }
+      }
+    }
+  }
+
+  // carver.conf: must parse; its page size drives the page-store checks.
+  size_t page_size = 0;
+  std::string conf;
+  Status conf_read = ReadTextFile((root / "carver.conf").string(), &conf);
+  if (!conf_read.ok()) {
+    issue("carver.conf", conf_read.ToString());
+  } else {
+    auto config = ConfigFromText(conf);
+    if (!config.ok()) {
+      issue("carver.conf", config.status().ToString());
+    } else {
+      page_size = config.value().params.page_size;
+    }
+  }
+
+  // pages.bin: walk the block framing; verify each entry's stored CRC-32
+  // and content hash against the page bytes it carries (the in-memory index
+  // PageStore::Open builds is derived from exactly these entries, so a
+  // clean scan certifies index<->file consistency). A framing failure ends
+  // the walk — byte boundaries downstream of it are meaningless.
+  std::unordered_map<std::string, uint32_t> stored_pages;  // hash hex -> crc
+  std::string pages_path = (root / "pages.bin").string();
+  std::FILE* pages = std::fopen(pages_path.c_str(), "rb");
+  if (pages == nullptr) {
+    issue("pages.bin", "missing or unreadable");
+  } else {
+    std::string payload;
+    for (;;) {
+      auto next = ReadBlock(pages, &payload);
+      if (!next.ok()) {
+        issue("pages.bin",
+              StrFormat("block %zu: %s", report.pages_checked,
+                        next.status().ToString().c_str()));
+        break;
+      }
+      if (!next.value()) break;  // clean end-of-file
+      if (page_size == 0) continue;  // cannot decode without the config
+      PageStoreEntry entry;
+      size_t page_bytes = 0;
+      Status decoded = DecodePageEntry(payload, page_size, &entry,
+                                       &page_bytes);
+      if (!decoded.ok()) {
+        issue("pages.bin", StrFormat("entry %zu: %s", report.pages_checked,
+                                     decoded.ToString().c_str()));
+        continue;
+      }
+      Bytes page_copy(payload.begin() + static_cast<ptrdiff_t>(page_bytes),
+                      payload.end());
+      ByteView page(page_copy);
+      if (Crc32(page) != entry.crc) {
+        issue("pages.bin",
+              StrFormat("entry %zu (%s): stored CRC-32 does not match the "
+                        "page bytes",
+                        report.pages_checked, entry.hash.ToHex().c_str()));
+      } else if (!(HashBytes(page) == entry.hash)) {
+        issue("pages.bin",
+              StrFormat("entry %zu: content hash does not match the page "
+                        "bytes (claims %s)",
+                        report.pages_checked, entry.hash.ToHex().c_str()));
+      } else if (!stored_pages.emplace(entry.hash.ToHex(), entry.crc)
+                      .second) {
+        issue("pages.bin",
+              StrFormat("entry %zu (%s): duplicate page entry (the store "
+                        "index would collapse them)",
+                        report.pages_checked, entry.hash.ToHex().c_str()));
+      }
+      ++report.pages_checked;
+    }
+    std::fclose(pages);
+  }
+
+  // artifacts.bin: every block must frame and decode as an artifact entry.
+  std::string artifacts_path = (root / "artifacts.bin").string();
+  std::FILE* artifacts = std::fopen(artifacts_path.c_str(), "rb");
+  if (artifacts == nullptr) {
+    issue("artifacts.bin", "missing or unreadable");
+  } else {
+    std::string payload;
+    for (;;) {
+      auto next = ReadBlock(artifacts, &payload);
+      if (!next.ok()) {
+        issue("artifacts.bin",
+              StrFormat("block %zu: %s", report.artifacts_checked,
+                        next.status().ToString().c_str()));
+        break;
+      }
+      if (!next.value()) break;
+      ArtifactKey key;
+      PageArtifacts page_artifacts;
+      Status decoded = DecodeArtifactEntry(payload, &key, &page_artifacts);
+      if (!decoded.ok()) {
+        issue("artifacts.bin",
+              StrFormat("entry %zu: %s", report.artifacts_checked,
+                        decoded.ToString().c_str()));
+        continue;
+      }
+      ++report.artifacts_checked;
+    }
+    std::fclose(artifacts);
+  }
+
+  // Manifests: structural re-parse plus reachability — every referenced
+  // page must exist in the page store with the same CRC.
+  std::error_code ec;
+  std::vector<std::string> manifest_paths;
+  for (const auto& entry :
+       fs::directory_iterator(root / "snapshots", ec)) {
+    if (entry.path().extension() == ".manifest") {
+      manifest_paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) issue("snapshots", "cannot list the snapshots directory");
+  std::sort(manifest_paths.begin(), manifest_paths.end());
+  for (const std::string& path : manifest_paths) {
+    std::string name = fs::path(path).filename().string();
+    auto manifest_issue = [&report, &name](std::string detail) {
+      report.issues.push_back({name, std::move(detail)});
+    };
+    std::string text;
+    Status read = ReadTextFile(path, &text);
+    if (!read.ok()) {
+      manifest_issue(read.ToString());
+      continue;
+    }
+    std::vector<std::string> lines = Split(text, '\n');
+    if (lines.empty() || Trim(lines[0]) != kManifestHeader) {
+      manifest_issue("bad header");
+      continue;
+    }
+    uint64_t id = 0;
+    uint64_t page_count = 0;
+    size_t pages_listed = 0;
+    bool saw_end = false;
+    bool structure_ok = true;
+    for (size_t i = 1; i < lines.size() && structure_ok; ++i) {
+      std::string_view line = Trim(lines[i]);
+      if (line.empty()) continue;
+      if (saw_end) {
+        manifest_issue("content after end marker");
+        structure_ok = false;
+        break;
+      }
+      if (line == "end") {
+        saw_end = true;
+        continue;
+      }
+      std::vector<std::string> parts = Split(std::string(line), ' ');
+      auto bad_line = [&]() {
+        manifest_issue(StrFormat("bad line %zu", i + 1));
+        structure_ok = false;
+      };
+      if (parts[0] == "id") {
+        if (parts.size() != 2 || !ParseU64(parts[1], &id)) bad_line();
+      } else if (parts[0] == "image_size") {
+        uint64_t v = 0;
+        if (parts.size() != 2 || !ParseU64(parts[1], &v)) bad_line();
+      } else if (parts[0] == "page_count") {
+        if (parts.size() != 2 || !ParseU64(parts[1], &page_count)) {
+          bad_line();
+        }
+      } else if (parts[0] == "page") {
+        uint64_t offset = 0;
+        uint64_t crc = 0;
+        if (parts.size() != 4 || !ParseU64(parts[1], &offset) ||
+            !ParseU64(parts[2], &crc) || crc > 0xFFFFFFFFull) {
+          bad_line();
+          continue;
+        }
+        auto hash = PageHash::FromHex(parts[3]);
+        if (!hash.ok()) {
+          bad_line();
+          continue;
+        }
+        ++pages_listed;
+        auto stored = stored_pages.find(hash.value().ToHex());
+        if (stored == stored_pages.end()) {
+          manifest_issue(StrFormat(
+              "page %s is not reachable in the page store", parts[3].c_str()));
+        } else if (stored->second != static_cast<uint32_t>(crc)) {
+          manifest_issue(StrFormat(
+              "page %s: manifest CRC %llu disagrees with the page store",
+              parts[3].c_str(), static_cast<unsigned long long>(crc)));
+        }
+      } else {
+        bad_line();
+      }
+    }
+    if (structure_ok && !saw_end) manifest_issue("truncated (no end marker)");
+    if (structure_ok && saw_end && pages_listed != page_count) {
+      manifest_issue(StrFormat("page_count %llu but %zu page lines",
+                               static_cast<unsigned long long>(page_count),
+                               pages_listed));
+    }
+    if (structure_ok && saw_end && id == 0) manifest_issue("missing id");
+    ++report.manifests_checked;
+  }
+  return report;
 }
 
 const SnapshotRepo::Snapshot* SnapshotRepo::FindSnapshot(uint64_t id) const {

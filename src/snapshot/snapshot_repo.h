@@ -127,6 +127,25 @@ struct IncrementalDetection {
   std::string ToString() const;
 };
 
+/// One verified defect found by Fsck().
+struct FsckIssue {
+  std::string file;  // repository-relative file the defect lives in
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Repository integrity report (`dbfa_snapshot fsck`).
+struct FsckReport {
+  std::vector<FsckIssue> issues;
+  size_t pages_checked = 0;      // page-store entries decoded and verified
+  size_t artifacts_checked = 0;  // artifact-cache entries decoded
+  size_t manifests_checked = 0;  // snapshot manifests parsed
+
+  bool Clean() const { return issues.empty(); }
+  std::string ToString() const;
+};
+
 class SnapshotRepo {
  public:
   /// Creates a new repository at `dir` (the directory may exist but must
@@ -186,6 +205,17 @@ class SnapshotRepo {
                                                  uint64_t target_id,
                                                  const AuditLog& log,
                                                  DetectiveOptions options = {});
+
+  /// Offline integrity check of a repository at `dir`: re-verifies every
+  /// pages.bin block (framing CRC, then the entry's stored page CRC-32 and
+  /// content hash against the page bytes), decodes every artifacts.bin
+  /// entry, re-parses repo.meta/carver.conf, and re-parses each snapshot
+  /// manifest checking that every referenced page is reachable in the page
+  /// store. Takes the repository lock for the duration; defects are
+  /// reported per corruption in the returned report, not as an error (the
+  /// Status is for environmental failures: lock contention, unreadable
+  /// directory).
+  static Result<FsckReport> Fsck(const std::string& dir);
 
   /// Registers every schema-bearing table of the given snapshots (default:
   /// all) as "Snap<id><Table>" for cross-snapshot meta-queries, e.g.

@@ -8,11 +8,9 @@
 #include "sql/parser.h"
 
 namespace dbfa {
-namespace {
 
-/// Indexes of the longest non-decreasing subsequence of `values`
-/// (O(n log n)); elements outside it are the minimal outlier set.
-std::vector<size_t> LongestNonDecreasing(const std::vector<uint64_t>& values) {
+std::vector<size_t> LongestNonDecreasingIndexes(
+    const std::vector<uint64_t>& values) {
   std::vector<size_t> tails;        // indexes of subsequence tails
   std::vector<int64_t> parent(values.size(), -1);
   for (size_t i = 0; i < values.size(); ++i) {
@@ -44,8 +42,6 @@ std::vector<size_t> LongestNonDecreasing(const std::vector<uint64_t>& values) {
   std::reverse(out.begin(), out.end());
   return out;
 }
-
-}  // namespace
 
 std::string BackdateFinding::ToString() const {
   return StrFormat("seq %llu ts %lld: %s — %s",
@@ -116,7 +112,7 @@ Result<TimelineReport> LogEventAnalyzer::Analyze() const {
   std::vector<uint64_t> row_ids;
   row_ids.reserve(matched.size());
   for (const MatchedInsert& m : matched) row_ids.push_back(m.row_id);
-  std::vector<size_t> consistent = LongestNonDecreasing(row_ids);
+  std::vector<size_t> consistent = LongestNonDecreasingIndexes(row_ids);
   std::vector<bool> keep(matched.size(), false);
   for (size_t i : consistent) keep[i] = true;
   for (size_t i = 0; i < matched.size(); ++i) {

@@ -27,6 +27,12 @@
 
 namespace dbfa {
 
+/// Indexes of the longest non-decreasing subsequence of `values`
+/// (O(n log n)); elements outside it are the minimal outlier set. Shared
+/// by detector 2 below and the replay-assisted validator in src/reenact/.
+std::vector<size_t> LongestNonDecreasingIndexes(
+    const std::vector<uint64_t>& values);
+
 struct BackdateFinding {
   uint64_t seq = 0;
   int64_t timestamp = 0;

@@ -16,6 +16,7 @@
 #include "common/strings.h"
 #include "core/carver.h"
 #include "detective/dbdetective.h"
+#include "storage/dialects.h"
 #include "storage/value.h"
 #include "workload/fleet.h"
 
@@ -28,12 +29,6 @@ std::string FreshRoot(const std::string& name) {
   fs::path dir = fs::path(::testing::TempDir()) / name;
   fs::remove_all(dir);
   return dir.string();
-}
-
-/// The daemon's dedup identity, replicated for equivalence checks.
-std::string Key(const UnattributedModification& mod) {
-  return StrFormat("%d|%s|%s", static_cast<int>(mod.kind), mod.table.c_str(),
-                   RecordToString(mod.values).c_str());
 }
 
 FleetOptions SmallFleet(size_t instances, double attack_rate) {
@@ -118,7 +113,7 @@ TEST(ServeTest, FindingsMatchOneShotDetectiveOnSameCaptures) {
     auto mods = detective.FindUnattributedModifications();
     ASSERT_TRUE(mods.ok()) << mods.status().ToString();
     for (const UnattributedModification& mod : *mods) {
-      expected.insert(Key(mod));
+      expected.insert(mod.Key());
     }
     ASSERT_TRUE(
         (*daemon)->SubmitCapture(0, std::move(*image), log_at_capture).ok());
@@ -129,7 +124,7 @@ TEST(ServeTest, FindingsMatchOneShotDetectiveOnSameCaptures) {
   std::set<std::string> actual;
   for (const ServeFinding& finding : (*daemon)->Findings()) {
     EXPECT_EQ(finding.instance, FleetSimulator::InstanceName(0));
-    actual.insert(Key(finding.mod));
+    actual.insert(finding.mod.Key());
   }
   EXPECT_EQ(actual, expected);
   EXPECT_GE(actual.size(), 1u) << "attacked every tick, expected findings";
@@ -248,6 +243,76 @@ TEST(ServeTest, StatsJsonIsWrittenAndWellFormed) {
     ASSERT_GE(depth, 0);
   }
   EXPECT_EQ(depth, 0);
+}
+
+TEST(ServeTest, ResolveFindingClearsDedupAndAllowsRereport) {
+  // One hand-built instance: a logged workload plus one unlogged INSERT
+  // (the Section III-A attack). The attack row persists in storage, so
+  // every capture re-detects it; the dedup set must suppress the repeats
+  // until ResolveFinding clears the entry.
+  auto db = Database::Open(DatabaseOptions{}).value();
+  SyntheticWorkload workload(db.get(), "Accounts", 17);
+  ASSERT_TRUE(workload.Setup(24).ok());
+  db->audit_log().SetEnabled(false);
+  ASSERT_TRUE(
+      db->ExecuteSql("INSERT INTO Accounts VALUES (9001, 'Ghost', 'X', 1.0)")
+          .ok());
+  db->audit_log().SetEnabled(true);
+  CarverConfig config;
+  config.params = GetDialect(db->params().dialect).value();
+
+  ServeOptions serve;
+  serve.root = FreshRoot("serve_resolve");
+  serve.shards = 1;
+  auto daemon = AuditDaemon::Start(serve);
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+  ASSERT_TRUE((*daemon)->AddInstance("inst", config).ok());
+
+  auto submit = [&] {
+    auto image = db->SnapshotDisk();
+    ASSERT_TRUE(image.ok());
+    ASSERT_TRUE(
+        (*daemon)->SubmitCapture(0, std::move(*image), db->audit_log()).ok());
+    (*daemon)->Drain();
+  };
+  submit();
+  auto findings = (*daemon)->Findings();
+  ASSERT_EQ(findings.size(), 1u);
+  UnattributedModification mod = findings[0].mod;
+
+  // Logged traffic appends to the attack row's page, so the incremental
+  // re-match sees the row again — and the dedup entry suppresses it.
+  ASSERT_TRUE(
+      db->ExecuteSql("INSERT INTO Accounts VALUES (200, 'A', 'B', 2.0)")
+          .ok());
+  submit();
+  EXPECT_EQ((*daemon)->Findings().size(), 1u);
+
+  // Unknown instance ids are NotFound; resolution is idempotent.
+  EXPECT_EQ((*daemon)->ResolveFinding(5, mod).status().code(),
+            StatusCode::kNotFound);
+  auto cleared = (*daemon)->ResolveFinding(0, mod);
+  ASSERT_TRUE(cleared.ok());
+  EXPECT_TRUE(*cleared);
+  auto again = (*daemon)->ResolveFinding(0, mod);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again) << "entry already cleared";
+
+  // After resolution a recurrence is re-reported as a fresh feed line.
+  ASSERT_TRUE(
+      db->ExecuteSql("INSERT INTO Accounts VALUES (201, 'C', 'D', 3.0)")
+          .ok());
+  submit();
+  findings = (*daemon)->Findings();
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[1].mod.Key(), mod.Key());
+
+  ASSERT_TRUE((*daemon)->Shutdown().ok());
+  ServeStats stats = (*daemon)->Stats();
+  EXPECT_EQ(stats.findings_resolved, 1u);
+  EXPECT_EQ(stats.invariants, "ok");
+  EXPECT_NE(stats.ToJson().find("\"findings_resolved\": 1"),
+            std::string::npos);
 }
 
 }  // namespace

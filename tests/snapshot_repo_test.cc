@@ -449,5 +449,83 @@ TEST(SnapshotRepoTest, StaleLockFromDeadProcessIsReclaimed) {
   }
 }
 
+TEST(SnapshotRepoTest, FsckPassesOnHealthyRepoAndReportsBitFlips) {
+  std::string dir = RepoDir("snap_fsck");
+  {
+    auto repo = SnapshotRepo::Create(dir, ConfigFor("postgres_like"));
+    ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+    auto db = PopulatedDb("postgres_like", 60);
+    ASSERT_TRUE((*repo)->Ingest(CaptureImage(db.get(), 1)).ok());
+    ASSERT_TRUE(db->ExecuteSql("DELETE FROM Customer WHERE Id > 50").ok());
+    ASSERT_TRUE((*repo)->Ingest(CaptureImage(db.get(), 2)).ok());
+  }  // destructor releases the repository lock Fsck needs
+
+  auto clean = SnapshotRepo::Fsck(dir);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_TRUE(clean->Clean()) << clean->ToString();
+  EXPECT_GT(clean->pages_checked, 0u);
+  EXPECT_GT(clean->artifacts_checked, 0u);
+  EXPECT_EQ(clean->manifests_checked, 2u);
+
+  // Fsck must not hold the repository lock after returning.
+  {
+    auto reopened = SnapshotRepo::Open(dir);
+    EXPECT_TRUE(reopened.ok()) << reopened.status().ToString();
+  }
+
+  // One flipped bit inside the page store must surface as a per-file
+  // defect report, not as a Status error and not as a crash.
+  std::string pages = (fs::path(dir) / "pages.bin").string();
+  FlipByteAt(pages, static_cast<long>(fs::file_size(pages) / 2));
+  auto damaged = SnapshotRepo::Fsck(dir);
+  ASSERT_TRUE(damaged.ok()) << damaged.status().ToString();
+  EXPECT_FALSE(damaged->Clean());
+  bool names_pages_bin = false;
+  for (const FsckIssue& issue : damaged->issues) {
+    if (issue.file == "pages.bin") names_pages_bin = true;
+  }
+  EXPECT_TRUE(names_pages_bin) << damaged->ToString();
+}
+
+TEST(SnapshotRepoTest, FsckFlagsUnreachableManifestPages) {
+  std::string dir = RepoDir("snap_fsck_manifest");
+  {
+    auto repo = SnapshotRepo::Create(dir, ConfigFor("oracle_like"));
+    ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+    auto db = PopulatedDb("oracle_like", 40);
+    ASSERT_TRUE((*repo)->Ingest(CaptureImage(db.get(), 3)).ok());
+  }
+  // Corrupt one hex digit of a manifest's page hash: the referenced page
+  // no longer exists in the store.
+  std::string manifest = (fs::path(dir) / "snapshots" / "1.manifest").string();
+  ASSERT_TRUE(fs::exists(manifest));
+  {
+    std::FILE* f = std::fopen(manifest.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    int c;
+    while ((c = std::fgetc(f)) != EOF) text.push_back(static_cast<char>(c));
+    std::fclose(f);
+    size_t pos = text.find("page ");
+    ASSERT_NE(pos, std::string::npos);
+    size_t hash_pos = text.find_last_of(' ', text.find('\n', pos)) + 1;
+    text[hash_pos] = text[hash_pos] == '0' ? '1' : '0';
+    f = std::fopen(manifest.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  auto report = SnapshotRepo::Fsck(dir);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->Clean());
+  bool names_manifest = false;
+  for (const FsckIssue& issue : report->issues) {
+    if (issue.file.find("1.manifest") != std::string::npos) {
+      names_manifest = true;
+    }
+  }
+  EXPECT_TRUE(names_manifest) << report->ToString();
+}
+
 }  // namespace
 }  // namespace dbfa

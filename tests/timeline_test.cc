@@ -144,5 +144,92 @@ TEST(TimelineTest, EmptyLogIsConsistent) {
   EXPECT_TRUE(report->Consistent());
 }
 
+TEST(TimelineTest, EmptyLogWithPopulatedStorageIsConsistent) {
+  // An empty log over populated storage has nothing to order: the
+  // analyzer must not crash on the carved rows and must not invent
+  // findings (attributing those rows is the detective's job, not the
+  // timeline's).
+  auto db = OpenRowIdDb();
+  SyntheticWorkload workload(db.get(), "Accounts", 5);
+  ASSERT_TRUE(workload.Setup(30).ok());
+  auto carve = CarveDisk(db.get());
+  ASSERT_TRUE(carve.ok());
+  AuditLog empty;
+  LogEventAnalyzer analyzer(&*carve, &empty);
+  auto report = analyzer.Analyze();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Consistent()) << report->ToString();
+  EXPECT_EQ(report->inserts_matched, 0u);
+}
+
+TEST(TimelineTest, DuplicateSeqEntriesDoNotConfuseTheDetectors) {
+  // A clumsy forger can produce a log where two lines share one seq (e.g.
+  // splicing files). The analyzer must stay well-defined: no crash, and
+  // honest monotone timestamps stay consistent.
+  auto db = OpenRowIdDb();
+  SyntheticWorkload workload(db.get(), "Accounts", 6);
+  ASSERT_TRUE(workload.Setup(10).ok());
+  std::string text;
+  for (const AuditEntry& e : db->audit_log().entries()) {
+    // Every line claims seq 1 — the worst duplicate-id case.
+    text += StrFormat("1|%lld|", static_cast<long long>(e.timestamp));
+    text += e.sql;
+    text += "\n";
+  }
+  auto forged = AuditLog::FromText(text);
+  ASSERT_TRUE(forged.ok());
+  auto carve = CarveDisk(db.get());
+  ASSERT_TRUE(carve.ok());
+  LogEventAnalyzer analyzer(&*carve, &*forged);
+  auto report = analyzer.Analyze();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Consistent()) << report->ToString();
+  EXPECT_LE(report->findings.size(), forged->entries().size());
+}
+
+TEST(TimelineTest, OutOfOrderTimestampsFlaggedWithoutStoredRowIds) {
+  // Detector 1 (timestamp vs append order) needs no storage row ids, so
+  // it works under dialects that don't persist them.
+  DatabaseOptions options;  // default dialect: no stored row identifiers
+  auto db = Database::Open(options).value();
+  SyntheticWorkload workload(db.get(), "Accounts", 7);
+  ASSERT_TRUE(workload.Setup(15).ok());
+  int64_t now = db->clock().Peek();
+  db->clock().Set(now - 40'000);
+  ASSERT_TRUE(db
+                  ->ExecuteSql("INSERT INTO Accounts VALUES "
+                               "(7001, 'OutOfOrder', 'X', 0.0)")
+                  .ok());
+  db->clock().Set(now);
+  auto carve = CarveDisk(db.get());
+  ASSERT_TRUE(carve.ok());
+  LogEventAnalyzer analyzer(&*carve, &db->audit_log());
+  auto report = analyzer.Analyze();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->Consistent());
+  bool flagged = false;
+  for (const BackdateFinding& f : report->findings) {
+    if (f.sql.find("OutOfOrder") != std::string::npos) flagged = true;
+  }
+  EXPECT_TRUE(flagged) << report->ToString();
+}
+
+TEST(TimelineTest, LongestNonDecreasingIndexesBasics) {
+  // The minimal-outlier primitive both row-id detectors share.
+  EXPECT_TRUE(LongestNonDecreasingIndexes({}).empty());
+  EXPECT_EQ(LongestNonDecreasingIndexes({5}).size(), 1u);
+  // Strictly decreasing: any single element is a maximal chain.
+  EXPECT_EQ(LongestNonDecreasingIndexes({9, 7, 5}).size(), 1u);
+  // Ties are non-decreasing, so they extend the chain.
+  EXPECT_EQ(LongestNonDecreasingIndexes({1, 2, 2, 3}).size(), 4u);
+  // One outlier in an otherwise sorted run.
+  std::vector<size_t> kept =
+      LongestNonDecreasingIndexes({1, 2, 99, 3, 4, 5});
+  EXPECT_EQ(kept.size(), 5u);
+  for (size_t index : kept) {
+    EXPECT_NE(index, 2u) << "the outlier 99 must be excluded";
+  }
+}
+
 }  // namespace
 }  // namespace dbfa

@@ -7,10 +7,13 @@
 //   dbfa_snapshot list   <repo-dir>
 //   dbfa_snapshot diff   <repo-dir> <base-id> <target-id>
 //   dbfa_snapshot detect <repo-dir> <base-id> <target-id> <audit.log>
+//   dbfa_snapshot fsck   <repo-dir>
 //
 // ingest dedupes the capture against every earlier snapshot and re-carves
 // only new/changed pages; detect re-matches only records from pages that
-// changed since <base-id> against the audit log.
+// changed since <base-id> against the audit log; fsck re-verifies the
+// stores' block checksums and manifest reachability, exiting 3 with a
+// per-corruption report when the repository is damaged.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -32,7 +35,8 @@ int Usage() {
       "       dbfa_snapshot list   <repo-dir>\n"
       "       dbfa_snapshot diff   <repo-dir> <base-id> <target-id>\n"
       "       dbfa_snapshot detect <repo-dir> <base-id> <target-id> "
-      "<audit.log>\n");
+      "<audit.log>\n"
+      "       dbfa_snapshot fsck   <repo-dir>\n");
   return 2;
 }
 
@@ -181,6 +185,17 @@ int main(int argc, char** argv) {
     }
     std::printf("%s", detection->ToString().c_str());
     return detection->modifications.empty() ? 0 : 3;
+  }
+
+  if (command == "fsck") {
+    if (argc != 3) return Usage();
+    auto report = SnapshotRepo::Fsck(dir);
+    if (!report.ok()) {
+      std::fprintf(stderr, "fsck: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", report->ToString().c_str());
+    return report->Clean() ? 0 : 3;
   }
 
   return Usage();
